@@ -1,0 +1,59 @@
+"""Figure 1 — the data-drift problem that motivates Shoggoth.
+
+The paper's Figure 1 illustrates how a daytime-trained lightweight model
+misaligns on night-time frames because both the appearance and the class
+distribution shift.  This benchmark quantifies that illustration: the
+offline (daytime-heavy) student is evaluated per domain segment of a
+day→night stream without any adaptation, and its accuracy must collapse on
+the drifted segments.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.eval import format_table, run_strategy
+from repro.detection.metrics import evaluate_map
+from repro.video import build_dataset
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_fig1_data_drift_collapse(benchmark, student, settings, results_dir):
+    """Quantify Figure 1: per-domain accuracy of the unadapted edge model."""
+    dataset = build_dataset("detrac", num_frames=settings.num_frames)
+
+    def run() -> list[dict]:
+        result = run_strategy("edge_only", dataset, student, settings=settings)
+        session = result.session
+        by_domain: dict[str, tuple[list, list]] = defaultdict(lambda: ([], []))
+        for detections, ground_truth, domain in zip(
+            session.detections_per_frame,
+            session.ground_truth_per_frame,
+            session.domain_per_frame,
+        ):
+            base = domain.split("->")[0] if "->" in domain else domain
+            by_domain[base][0].append(detections)
+            by_domain[base][1].append(ground_truth)
+        rows = []
+        for domain, (detections, ground_truth) in by_domain.items():
+            rows.append(
+                {
+                    "Domain": domain,
+                    "Frames": len(detections),
+                    "mAP@0.5 (%)": round(100 * evaluate_map(detections, ground_truth).map50, 1),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(rows, title="Figure 1 — data drift: per-domain mAP of the unadapted edge model")
+    write_result(results_dir, "fig1_drift.txt", table)
+
+    by_domain = {row["Domain"]: row["mAP@0.5 (%)"] for row in rows}
+    day = max(by_domain.get("day_sunny", 0.0), by_domain.get("day_cloudy", 0.0))
+    night = by_domain.get("night", 0.0)
+    # drift: the daytime-trained model loses most of its accuracy at night
+    assert night < 0.6 * day

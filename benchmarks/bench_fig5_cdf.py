@@ -1,0 +1,59 @@
+"""Figure 5 — CDF of windowed-mAP gain over Edge-Only.
+
+Paper: the cumulative distribution of per-frame mAP improvement over the
+Edge-Only baseline for Cloud-Only, Shoggoth, AMS and Prompt across all
+frames, demonstrating the robustness of adaptive sampling (gains are spread
+over the whole stream, not confined to a few segments).
+
+Expected shape: Cloud-Only dominates (largest gains over most of the CDF);
+the adaptive strategies have mostly non-negative gains; Shoggoth beats
+Edge-Only on a clear majority of windows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.eval import cdf_points, format_table, gain_cdf, run_strategy
+from repro.video import build_dataset
+
+STRATEGIES_VS_BASELINE = ["cloud_only", "shoggoth", "ams", "prompt"]
+PERCENTILES = [10, 25, 50, 75, 90]
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_map_gain_cdf(benchmark, student, settings, results_dir):
+    """Regenerate Figure 5: CDF of windowed mAP gain vs Edge-Only."""
+    dataset = build_dataset("detrac", num_frames=settings.num_frames)
+
+    def run() -> dict:
+        baseline = run_strategy("edge_only", dataset, student, settings=settings)
+        gains = {}
+        for name in STRATEGIES_VS_BASELINE:
+            result = run_strategy(name, dataset, student, settings=settings)
+            gains[name] = gain_cdf(result.windowed_map, baseline.windowed_map)
+        return gains
+
+    gains = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for name in STRATEGIES_VS_BASELINE:
+        values = gains[name]
+        x, y = cdf_points(values)
+        row = {"Strategy": name, "Mean gain": round(float(values.mean()), 3),
+               "P(gain>0)": round(float((values > 0).mean()), 2)}
+        for pct in PERCENTILES:
+            row[f"p{pct}"] = round(float(np.percentile(values, pct)), 3)
+        rows.append(row)
+
+    table = format_table(rows, title="Figure 5 — CDF of windowed mAP gain over Edge-Only (reproduction)")
+    write_result(results_dir, "fig5_cdf.txt", table)
+
+    by_name = {row["Strategy"]: row for row in rows}
+    # Cloud-Only dominates every adaptive strategy in mean gain
+    assert by_name["cloud_only"]["Mean gain"] >= by_name["shoggoth"]["Mean gain"]
+    assert by_name["cloud_only"]["P(gain>0)"] >= 0.8
+    # Shoggoth improves over Edge-Only on a substantial share of windows
+    assert by_name["shoggoth"]["P(gain>0)"] >= 0.35

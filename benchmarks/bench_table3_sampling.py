@@ -1,0 +1,68 @@
+"""Table III — sensitivity to the frame sampling rate.
+
+Paper: uplink bandwidth (Kbps) and average IoU for fixed sampling rates
+0.1 / 0.2 / 0.4 / 0.8 / 1.6 / 2.0 fps versus adaptive sampling.
+
+Expected shape: uplink bandwidth grows monotonically with the fixed rate;
+adaptive sampling reaches the best (or near-best) average IoU at a mid-range
+bandwidth, i.e. no fixed rate dominates it on both axes at once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.core.strategies import FixedRateShoggothStrategy, ShoggothStrategy
+from repro.eval import format_table, run_strategy
+from repro.video import build_dataset
+
+FIXED_RATES = [0.1, 0.2, 0.4, 0.8, 1.6, 2.0]
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_sampling_rate_sensitivity(benchmark, student, settings, results_dir):
+    """Regenerate Table III (uplink bandwidth and average IoU per sampling rate)."""
+    dataset = build_dataset("detrac", num_frames=settings.num_frames)
+
+    def run() -> list[dict]:
+        rows = []
+        for rate in FIXED_RATES:
+            result = run_strategy(
+                FixedRateShoggothStrategy(rate), dataset, student, settings=settings
+            )
+            rows.append(
+                {
+                    "Rate (fps)": rate,
+                    "Up BW (Kbps)": round(result.uplink_kbps, 1),
+                    "Average IoU": round(result.average_iou, 3),
+                    "mAP@0.5 (%)": round(result.map50_percent, 1),
+                }
+            )
+        adaptive = run_strategy(ShoggothStrategy(), dataset, student, settings=settings)
+        rows.append(
+            {
+                "Rate (fps)": "adaptive",
+                "Up BW (Kbps)": round(adaptive.uplink_kbps, 1),
+                "Average IoU": round(adaptive.average_iou, 3),
+                "mAP@0.5 (%)": round(adaptive.map50_percent, 1),
+            }
+        )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(rows, title="Table III — sampling-rate sensitivity (reproduction)")
+    write_result(results_dir, "table3_sampling.txt", table)
+
+    fixed = [row for row in rows if row["Rate (fps)"] != "adaptive"]
+    adaptive = rows[-1]
+    # uplink bandwidth must grow with the fixed sampling rate
+    bandwidths = [row["Up BW (Kbps)"] for row in fixed]
+    assert all(b2 >= 0.95 * b1 for b1, b2 in zip(bandwidths, bandwidths[1:]))
+    # the lowest fixed rate starves adaptation: IoU must be below the best arm
+    ious = [row["Average IoU"] for row in fixed]
+    assert ious[0] <= max(ious)
+    # adaptive sampling is competitive: within 5% of the best fixed-rate IoU
+    # while using less uplink bandwidth than the maximum fixed rate
+    assert adaptive["Average IoU"] >= max(ious) * 0.9
+    assert adaptive["Up BW (Kbps)"] < bandwidths[-1]

@@ -1,0 +1,97 @@
+"""Day→night drift: reproduce the paper's Figure-1 motivation end to end.
+
+The example builds a stream that spends half its time in daylight and half at
+night, then shows:
+
+* how the offline daytime-trained student collapses on the night half
+  (data drift), and
+* how Shoggoth's adaptive online learning recovers a large part of the loss
+  while the day-time accuracy is protected by the replay memory.
+
+Run with::
+
+    python examples/day_night_drift.py
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.detection.metrics import evaluate_map
+from repro.eval import ExperimentSettings, prepare_student, run_strategy
+from repro.video import DAY_SUNNY, NIGHT, DriftSchedule, DriftSegment
+from repro.video.datasets import DatasetSpec
+from repro.video.render import RenderConfig
+from repro.video.scene import SceneConfig
+from repro.video.stream import StreamConfig
+
+
+def day_night_dataset(num_frames: int, seed: int = 17) -> DatasetSpec:
+    """A custom dataset: first half daylight, second half night (with a dawn-style blend)."""
+    half = num_frames // 2
+    schedule = DriftSchedule(
+        [
+            DriftSegment(DAY_SUNNY, half),
+            DriftSegment(NIGHT, num_frames - half, transition_frames=half // 10),
+        ]
+    )
+    return DatasetSpec(
+        name="day_night",
+        schedule=schedule,
+        stream_config=StreamConfig(fps=30.0, num_frames=num_frames, seed=seed),
+        scene_config=SceneConfig(mean_objects=3.5, seed=seed),
+        render_config=RenderConfig(seed=seed),
+        description="half daylight, half night",
+    )
+
+
+def per_domain_map(result) -> dict[str, float]:
+    """mAP@0.5 split by the base domain active at each evaluated frame."""
+    session = result.session
+    grouped: dict[str, tuple[list, list]] = defaultdict(lambda: ([], []))
+    for detections, ground_truth, domain in zip(
+        session.detections_per_frame, session.ground_truth_per_frame, session.domain_per_frame
+    ):
+        base = domain.split("->")[0] if "->" in domain else domain
+        grouped[base][0].append(detections)
+        grouped[base][1].append(ground_truth)
+    return {
+        domain: 100 * evaluate_map(dets, gts).map50 for domain, (dets, gts) in grouped.items()
+    }
+
+
+def main() -> None:
+    settings = ExperimentSettings(
+        num_frames=1500, eval_stride=3, pretrain_images=200, pretrain_epochs=5
+    )
+    student = prepare_student(settings)
+    dataset = day_night_dataset(settings.num_frames)
+
+    print("Running Edge-Only (no adaptation) and Shoggoth on a day -> night stream ...\n")
+    edge = run_strategy("edge_only", dataset, student, settings=settings)
+    shoggoth = run_strategy("shoggoth", dataset, student, settings=settings)
+
+    edge_by_domain = per_domain_map(edge)
+    shoggoth_by_domain = per_domain_map(shoggoth)
+
+    print(f"{'domain':12s} {'Edge-Only mAP%':>16s} {'Shoggoth mAP%':>15s}")
+    for domain in sorted(set(edge_by_domain) | set(shoggoth_by_domain)):
+        print(
+            f"{domain:12s} {edge_by_domain.get(domain, 0.0):16.1f} "
+            f"{shoggoth_by_domain.get(domain, 0.0):15.1f}"
+        )
+
+    print(
+        f"\nOverall: Edge-Only {edge.map50_percent:.1f}% vs Shoggoth "
+        f"{shoggoth.map50_percent:.1f}% "
+        f"(uplink {shoggoth.uplink_kbps:.0f} Kbps, "
+        f"{shoggoth.num_training_sessions} training sessions)."
+    )
+    print(
+        "The daytime-trained model collapses at night; Shoggoth recovers a large part "
+        "of the lost accuracy by fine-tuning on teacher-labeled night frames."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+"""Setup shim.
+
+The execution environment is offline and ships setuptools without the
+``wheel`` package, so PEP 660 editable installs (``pip install -e .`` with
+build isolation) cannot build editable wheels.  This shim keeps the legacy
+``setup.py develop`` path working:
+
+    pip install -e . --no-build-isolation --no-use-pep517
+
+All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

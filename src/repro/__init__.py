@@ -1,0 +1,29 @@
+"""Shoggoth reproduction: edge-cloud collaborative real-time video inference.
+
+A from-scratch Python implementation of "Shoggoth: Towards Efficient
+Edge-Cloud Collaborative Real-Time Video Inference via Adaptive Online
+Learning" (DAC 2023), including every substrate the system depends on:
+
+* :mod:`repro.nn` -- numpy neural-network library (layers, BatchRenorm, SGD),
+* :mod:`repro.video` -- synthetic drifting video streams and dataset presets,
+* :mod:`repro.detection` -- student/teacher detectors and mAP/IoU metrics,
+* :mod:`repro.network` -- edge-cloud messages, link model, bandwidth accounting,
+* :mod:`repro.runtime` -- edge/cloud compute, FPS and resource-usage models,
+* :mod:`repro.core` -- the Shoggoth architecture (adaptive training with
+  latent replay, online labeling, adaptive frame sampling, strategies),
+* :mod:`repro.eval` -- the experiment harness behind the paper's tables/figures.
+
+Typical entry point::
+
+    from repro.eval import ExperimentSettings, prepare_student, run_strategy
+    from repro.video import build_dataset
+
+    settings = ExperimentSettings(num_frames=1200)
+    student = prepare_student(settings)
+    dataset = build_dataset("detrac", num_frames=1200)
+    result = run_strategy("shoggoth", dataset, student, settings=settings)
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["__version__"]

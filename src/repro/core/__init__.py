@@ -1,0 +1,81 @@
+"""Shoggoth core: adaptive online learning for edge-cloud video inference.
+
+This package implements the paper's primary contribution on top of the
+substrates (``repro.nn``, ``repro.detection``, ``repro.video``,
+``repro.network``, ``repro.runtime``):
+
+* :mod:`repro.core.replay_memory` — Algorithm 1, the replay memory that
+  stores latent activations and refreshes them with uniform probability;
+* :mod:`repro.core.adaptive_training` — adaptive training with latent replay,
+  mini-batch mixing (K·N/(N+M) rule), front-layer slowdown/freezing and
+  Batch Renormalization (Sec. III-B, Fig. 3);
+* :mod:`repro.core.labeling` — online labeling by the cloud teacher, Eq. (1);
+* :mod:`repro.core.sampling` — the φ/α/λ signals and the sampling-rate
+  controller, Eq. (2)–(3);
+* :mod:`repro.core.edge` / :mod:`repro.core.cloud` — the two halves of the
+  architecture in Fig. 2;
+* :mod:`repro.core.session` — the end-to-end collaborative session engine;
+* :mod:`repro.core.strategies` — Shoggoth plus the paper's comparison
+  strategies (Edge-Only, Cloud-Only, Prompt, AMS).
+"""
+
+from repro.core.config import (
+    AdaptiveTrainingConfig,
+    SamplingConfig,
+    LabelingConfig,
+    ShoggothConfig,
+    paper_scale_config,
+)
+from repro.core.replay_memory import ReplayMemory, ReplayItem
+from repro.core.adaptive_training import AdaptiveTrainer, TrainingSessionReport
+from repro.core.labeling import OnlineLabeler, LabeledFrame
+from repro.core.sampling import (
+    SamplingRateController,
+    SamplingSignals,
+    estimate_alpha,
+    compute_phi,
+)
+from repro.core.edge import EdgeDevice
+from repro.core.cloud import CloudServer
+from repro.core.session import CollaborativeSession, SessionOptions, SessionResult
+from repro.core.strategies import (
+    Strategy,
+    EdgeOnlyStrategy,
+    CloudOnlyStrategy,
+    PromptStrategy,
+    AMSStrategy,
+    ShoggothStrategy,
+    STRATEGIES,
+    build_strategy,
+)
+
+__all__ = [
+    "AdaptiveTrainingConfig",
+    "SamplingConfig",
+    "LabelingConfig",
+    "ShoggothConfig",
+    "paper_scale_config",
+    "ReplayMemory",
+    "ReplayItem",
+    "AdaptiveTrainer",
+    "TrainingSessionReport",
+    "OnlineLabeler",
+    "LabeledFrame",
+    "SamplingRateController",
+    "SamplingSignals",
+    "estimate_alpha",
+    "compute_phi",
+    "EdgeDevice",
+    "CloudServer",
+    "CollaborativeSession",
+    "SessionOptions",
+    "SessionResult",
+    "Strategy",
+    "EdgeOnlyStrategy",
+    "CloudOnlyStrategy",
+    "PromptStrategy",
+    "AMSStrategy",
+    "ShoggothStrategy",
+    "STRATEGIES",
+    "build_strategy",
+]

@@ -1,0 +1,152 @@
+"""Configuration objects for the Shoggoth architecture.
+
+Two scales are provided:
+
+* the default ("simulation scale") is sized for the synthetic 32x32 streams
+  and the numpy models, so full experiments run in minutes on a CPU;
+* :func:`paper_scale_config` returns the hyper-parameters the paper reports
+  (training batch 300, replay memory 1500, mini-batch 64, 8 epochs,
+  r ∈ [0.1, 2] fps) for documentation and for tests that check the config
+  plumbing accepts them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = [
+    "AdaptiveTrainingConfig",
+    "SamplingConfig",
+    "LabelingConfig",
+    "ShoggothConfig",
+    "paper_scale_config",
+]
+
+
+@dataclass(frozen=True)
+class AdaptiveTrainingConfig:
+    """Adaptive training with replay memory (paper Sec. III-B)."""
+
+    #: number of newly-labeled images that make up one training batch B
+    train_batch_size: int = 6
+    #: replay memory capacity in images (paper: 5x the training batch)
+    replay_capacity: int = 36
+    #: SGD mini-batch size K
+    minibatch_size: int = 12
+    #: epochs per training session
+    epochs: int = 3
+    #: learning rate for the layers after the replay layer
+    learning_rate: float = 0.015
+    #: SGD momentum
+    momentum: float = 0.8
+    #: global gradient-norm clip
+    max_grad_norm: float = 3.0
+    #: layer at which the replay memory stores activations
+    replay_layer: str = "pool"
+    #: learning-rate multiplier for the layers before the replay layer
+    front_lr_scale: float = 0.2
+    #: freeze the front layers entirely (the "Completely Freezing" ablation)
+    freeze_front: bool = False
+    #: disable the replay memory entirely (the "No Replay Memory" ablation)
+    use_replay: bool = True
+
+    def __post_init__(self) -> None:
+        if min(self.train_batch_size, self.replay_capacity, self.minibatch_size, self.epochs) <= 0:
+            raise ValueError("batch sizes, capacity and epochs must be positive")
+        if self.learning_rate < 0 or self.momentum < 0 or self.max_grad_norm <= 0:
+            raise ValueError("invalid optimizer hyper-parameters")
+        if not 0.0 <= self.front_lr_scale <= 1.0:
+            raise ValueError("front_lr_scale must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class SamplingConfig:
+    """Adaptive frame sampling (paper Sec. III-C, Eq. 2-3)."""
+
+    #: minimum and maximum frame sampling rates in frames per second
+    min_rate_fps: float = 0.1
+    max_rate_fps: float = 2.0
+    #: initial rate the edge device starts with
+    initial_rate_fps: float = 2.0
+    #: target for the scene-change signal φ
+    phi_target: float = 0.45
+    #: target for the estimated accuracy α
+    alpha_target: float = 0.55
+    #: step sizes η_r and η_α
+    eta_r: float = 1.5
+    eta_alpha: float = 2.5
+    #: confidence threshold θ used for the α estimate
+    confidence_threshold: float = 0.35
+    #: adapt the rate at all (False = fixed-rate operation, e.g. Prompt)
+    adaptive: bool = True
+    #: number of sampled frames buffered before a batch is uploaded
+    upload_batch_frames: int = 3
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.min_rate_fps <= self.max_rate_fps:
+            raise ValueError("need 0 < min_rate <= max_rate")
+        if not self.min_rate_fps <= self.initial_rate_fps <= self.max_rate_fps:
+            raise ValueError("initial rate must lie within [min_rate, max_rate]")
+        if not 0.0 <= self.phi_target <= 1.0 or not 0.0 <= self.alpha_target <= 1.0:
+            raise ValueError("targets must be in [0, 1]")
+        if self.eta_r < 0 or self.eta_alpha < 0:
+            raise ValueError("step sizes must be non-negative")
+        if not 0.0 < self.confidence_threshold < 1.0:
+            raise ValueError("confidence_threshold must be in (0, 1)")
+        if self.upload_batch_frames <= 0:
+            raise ValueError("upload_batch_frames must be positive")
+
+
+@dataclass(frozen=True)
+class LabelingConfig:
+    """Online labeling in the cloud (paper Sec. III-A, Eq. 1)."""
+
+    #: pseudo-labels below this teacher confidence are discarded
+    min_teacher_confidence: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.min_teacher_confidence < 1.0:
+            raise ValueError("min_teacher_confidence must be in [0, 1)")
+
+
+@dataclass(frozen=True)
+class ShoggothConfig:
+    """Full system configuration."""
+
+    training: AdaptiveTrainingConfig = field(default_factory=AdaptiveTrainingConfig)
+    sampling: SamplingConfig = field(default_factory=SamplingConfig)
+    labeling: LabelingConfig = field(default_factory=LabelingConfig)
+    #: evaluate edge detections every N-th frame (accuracy metrics only)
+    eval_stride: int = 1
+
+    def __post_init__(self) -> None:
+        if self.eval_stride <= 0:
+            raise ValueError("eval_stride must be positive")
+
+    def with_training(self, **kwargs) -> "ShoggothConfig":
+        """Copy with selected adaptive-training fields replaced."""
+        return replace(self, training=replace(self.training, **kwargs))
+
+    def with_sampling(self, **kwargs) -> "ShoggothConfig":
+        """Copy with selected sampling fields replaced."""
+        return replace(self, sampling=replace(self.sampling, **kwargs))
+
+
+def paper_scale_config() -> ShoggothConfig:
+    """The hyper-parameters reported in the paper (Sec. IV-A).
+
+    These values assume 512x512 frames, a Jetson-TX2-class device and
+    multi-hour video; running them against the reduced-scale simulation is
+    possible but slow, so benchmarks use the default simulation-scale config
+    and this function documents the mapping.
+    """
+    return ShoggothConfig(
+        training=AdaptiveTrainingConfig(
+            train_batch_size=300,
+            replay_capacity=1500,
+            minibatch_size=64,
+            epochs=8,
+            replay_layer="pool",
+        ),
+        sampling=SamplingConfig(min_rate_fps=0.1, max_rate_fps=2.0),
+    )

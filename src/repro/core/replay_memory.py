@@ -1,0 +1,128 @@
+"""Replay memory management (paper Algorithm 1).
+
+The replay memory ``M`` holds a bounded set of stored samples.  Following the
+paper's latent-replay design, a stored sample is not a raw image but the
+activation volume of the image at the replay layer, together with its dense
+training targets; when the replay layer is the network input the stored
+"activation" is simply the image itself.
+
+Algorithm 1 (replayed here for reference)::
+
+    M <- {}
+    for each adaptive training i:
+        B <- current training batch
+        train the model on B ∪ M
+        if ISFULL(M):
+            h        <- Msize / i
+            M_add    <- random sample of h images from B
+            M_replace<- random sample of h images from M
+            M        <- (M - M_replace) ∪ M_add
+        else:
+            M <- M ∪ M_add           # i.e. all of B, clipped to capacity
+        reset B
+
+The ``Msize / i`` replacement schedule gives every batch ever seen an equal
+probability of residing in the memory (reservoir-style), which is exactly the
+forgetting-prevention property the paper claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.detection.grid import GridTargets
+
+__all__ = ["ReplayItem", "ReplayMemory"]
+
+
+@dataclass(frozen=True)
+class ReplayItem:
+    """One stored sample: a latent activation (or image) and its targets."""
+
+    activation: np.ndarray
+    targets: GridTargets
+    #: index of the training session that inserted the item (for aging studies)
+    inserted_at: int = 0
+
+
+class ReplayMemory:
+    """Bounded sample store with Algorithm-1 replacement."""
+
+    def __init__(self, capacity: int, seed: int = 0) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._items: list[ReplayItem] = []
+        self._rng = np.random.default_rng(seed)
+        self._training_runs = 0
+
+    # -- inspection -----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    @property
+    def training_runs(self) -> int:
+        """Number of adaptive-training runs that have updated this memory."""
+        return self._training_runs
+
+    @property
+    def items(self) -> list[ReplayItem]:
+        """Stored items (live view; callers must not mutate)."""
+        return self._items
+
+    def sample(self, count: int) -> list[ReplayItem]:
+        """Uniformly sample ``count`` items without replacement (or all if fewer)."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if count >= len(self._items):
+            return list(self._items)
+        indices = self._rng.choice(len(self._items), size=count, replace=False)
+        return [self._items[i] for i in indices]
+
+    def insertion_ages(self, current_run: int | None = None) -> np.ndarray:
+        """Age of each stored item in training runs (aging-effect diagnostics)."""
+        reference = self._training_runs if current_run is None else current_run
+        return np.array([reference - item.inserted_at for item in self._items])
+
+    # -- Algorithm 1 -----------------------------------------------------------
+    def update(self, batch: list[ReplayItem]) -> None:
+        """Update the memory after a training run on ``batch`` (Algorithm 1).
+
+        Must be called exactly once per adaptive-training run, *after* the
+        model has been trained on ``batch ∪ memory``.
+        """
+        self._training_runs += 1
+        i = self._training_runs
+        if not batch:
+            return
+
+        if self.is_full:
+            h = max(1, round(self.capacity / i))
+            h = min(h, len(batch), len(self._items))
+            add_idx = self._rng.choice(len(batch), size=h, replace=False)
+            replace_idx = self._rng.choice(len(self._items), size=h, replace=False)
+            for add_i, replace_i in zip(add_idx, replace_idx):
+                item = batch[add_i]
+                self._items[replace_i] = ReplayItem(
+                    activation=item.activation, targets=item.targets, inserted_at=i
+                )
+        else:
+            space = self.capacity - len(self._items)
+            chosen = batch
+            if len(batch) > space:
+                idx = self._rng.choice(len(batch), size=space, replace=False)
+                chosen = [batch[j] for j in idx]
+            self._items.extend(
+                ReplayItem(activation=item.activation, targets=item.targets, inserted_at=i)
+                for item in chosen
+            )
+
+    def clear(self) -> None:
+        """Drop all stored items (the training-run counter is preserved)."""
+        self._items.clear()

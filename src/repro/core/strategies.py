@@ -1,0 +1,192 @@
+"""The evaluated strategies (paper Sec. IV-A).
+
+Every strategy is a thin wrapper that configures the shared
+:class:`~repro.core.session.CollaborativeSession` engine:
+
+* **Edge-Only** — the pre-trained student performs all inference on the edge
+  with no video-specific customisation and no network traffic.
+* **Cloud-Only** — every frame is streamed to the cloud, the golden teacher
+  detects, and results come back.  Best accuracy, highest bandwidth, lowest
+  frame rate.
+* **Prompt** — Shoggoth without adaptive sampling: the sampling rate is fixed
+  at the maximum (2 fps) so the model is adapted promptly and regularly.
+* **AMS** — adaptive model streaming: the entire distillation (labeling *and*
+  fine-tuning) happens in the cloud and updated student weights are streamed
+  back to the edge.
+* **Shoggoth** — the paper's system: labeling in the cloud, adaptive training
+  with latent replay on the edge, adaptive frame sampling.
+
+A parametrised fixed-rate variant of Shoggoth is also provided for the
+sampling-rate sensitivity study (Table III).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import ShoggothConfig
+from repro.core.session import CollaborativeSession, SessionOptions, SessionResult
+from repro.detection.student import StudentDetector
+from repro.detection.teacher import TeacherDetector
+from repro.network.link import NetworkLink
+from repro.runtime.device import CloudComputeModel, EdgeComputeModel
+from repro.video.datasets import DatasetSpec
+
+__all__ = [
+    "Strategy",
+    "EdgeOnlyStrategy",
+    "CloudOnlyStrategy",
+    "PromptStrategy",
+    "AMSStrategy",
+    "ShoggothStrategy",
+    "FixedRateShoggothStrategy",
+    "STRATEGIES",
+    "build_strategy",
+]
+
+
+@dataclass
+class Strategy:
+    """Base strategy: owns a :class:`SessionOptions` and runs sessions."""
+
+    name: str = "base"
+    options: SessionOptions = field(default_factory=SessionOptions)
+
+    def run(
+        self,
+        dataset: DatasetSpec,
+        student: StudentDetector,
+        teacher: TeacherDetector,
+        config: ShoggothConfig | None = None,
+        edge_compute: EdgeComputeModel | None = None,
+        cloud_compute: CloudComputeModel | None = None,
+        link: NetworkLink | None = None,
+        seed: int = 0,
+        replay_seed: tuple | None = None,
+    ) -> SessionResult:
+        """Evaluate the strategy on one dataset with the given (fresh) student.
+
+        The caller is responsible for passing a *fresh copy* of the pre-trained
+        student so strategies do not contaminate each other's starting point
+        (``StudentDetector.clone()``).
+        """
+        session = CollaborativeSession(
+            dataset=dataset,
+            student=student,
+            teacher=teacher,
+            options=self.options,
+            config=config,
+            edge_compute=edge_compute,
+            cloud_compute=cloud_compute,
+            link=link,
+            seed=seed,
+            replay_seed=replay_seed,
+        )
+        return session.run()
+
+
+class EdgeOnlyStrategy(Strategy):
+    """Static edge model, no cloud involvement."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            name="edge_only",
+            options=SessionOptions(name="edge_only", adapt=False),
+        )
+
+
+class CloudOnlyStrategy(Strategy):
+    """All frames uploaded; the golden model detects in the cloud."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            name="cloud_only",
+            options=SessionOptions(
+                name="cloud_only",
+                adapt=False,
+                upload_all_frames=True,
+                use_cloud_detections=True,
+            ),
+        )
+
+
+class PromptStrategy(Strategy):
+    """Shoggoth without adaptive sampling: fixed maximum-rate sampling (2 fps)."""
+
+    def __init__(self, rate_fps: float = 2.0) -> None:
+        super().__init__(
+            name="prompt",
+            options=SessionOptions(
+                name="prompt",
+                adapt=True,
+                train_location="edge",
+                adaptive_sampling=False,
+                fixed_rate_fps=rate_fps,
+            ),
+        )
+
+
+class AMSStrategy(Strategy):
+    """Adaptive Model Streaming: labeling and fine-tuning both in the cloud."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            name="ams",
+            options=SessionOptions(
+                name="ams",
+                adapt=True,
+                train_location="cloud",
+                adaptive_sampling=True,
+            ),
+        )
+
+
+class ShoggothStrategy(Strategy):
+    """The paper's system: cloud labeling + edge adaptive training + adaptive sampling."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            name="shoggoth",
+            options=SessionOptions(
+                name="shoggoth",
+                adapt=True,
+                train_location="edge",
+                adaptive_sampling=True,
+            ),
+        )
+
+
+class FixedRateShoggothStrategy(Strategy):
+    """Shoggoth with the controller pinned to a fixed sampling rate (Table III)."""
+
+    def __init__(self, rate_fps: float) -> None:
+        if rate_fps <= 0:
+            raise ValueError("rate_fps must be positive")
+        super().__init__(
+            name=f"shoggoth_fixed_{rate_fps:g}",
+            options=SessionOptions(
+                name=f"shoggoth_fixed_{rate_fps:g}",
+                adapt=True,
+                train_location="edge",
+                adaptive_sampling=False,
+                fixed_rate_fps=rate_fps,
+            ),
+        )
+
+
+#: Registry of the named strategies evaluated in Table I.
+STRATEGIES: dict[str, type[Strategy]] = {
+    "edge_only": EdgeOnlyStrategy,
+    "cloud_only": CloudOnlyStrategy,
+    "prompt": PromptStrategy,
+    "ams": AMSStrategy,
+    "shoggoth": ShoggothStrategy,
+}
+
+
+def build_strategy(name: str) -> Strategy:
+    """Instantiate a registered strategy by name."""
+    try:
+        return STRATEGIES[name]()
+    except KeyError:
+        raise KeyError(f"unknown strategy {name!r}; available: {sorted(STRATEGIES)}") from None

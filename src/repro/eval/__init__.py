@@ -1,0 +1,27 @@
+"""Experiment harness: strategy runners, metric aggregation and reporting.
+
+The benchmarks under ``benchmarks/`` are thin wrappers around this package;
+each of the paper's tables and figures corresponds to one entry point here so
+the same experiments can be reproduced from a notebook, a script or pytest.
+"""
+
+from repro.eval.results import StrategyRunResult, format_table, format_comparison_table
+from repro.eval.runner import (
+    prepare_student,
+    run_strategy,
+    compare_strategies,
+    ExperimentSettings,
+)
+from repro.eval.cdf import gain_cdf, cdf_points
+
+__all__ = [
+    "StrategyRunResult",
+    "format_table",
+    "format_comparison_table",
+    "prepare_student",
+    "run_strategy",
+    "compare_strategies",
+    "ExperimentSettings",
+    "gain_cdf",
+    "cdf_points",
+]

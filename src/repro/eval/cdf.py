@@ -1,0 +1,31 @@
+"""Cumulative-distribution helpers for the Figure-5 style robustness analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["gain_cdf", "cdf_points"]
+
+
+def gain_cdf(values: np.ndarray, baseline: np.ndarray) -> np.ndarray:
+    """Per-window gain of ``values`` over ``baseline`` (same windows).
+
+    The paper's Figure 5 plots the CDF of mAP improvement over Edge-Only
+    across all frames; windows where either series is undefined are dropped.
+    """
+    values = np.asarray(values, dtype=float)
+    baseline = np.asarray(baseline, dtype=float)
+    n = min(values.size, baseline.size)
+    if n == 0:
+        return np.zeros(0)
+    return values[:n] - baseline[:n]
+
+
+def cdf_points(samples: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF of a sample set: sorted values and cumulative fractions."""
+    samples = np.asarray(samples, dtype=float)
+    if samples.size == 0:
+        return np.zeros(0), np.zeros(0)
+    x = np.sort(samples)
+    y = np.arange(1, x.size + 1) / x.size
+    return x, y

@@ -1,0 +1,78 @@
+"""Result records and plain-text table formatting for experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.session import SessionResult
+from repro.detection.metrics import MAPResult
+
+__all__ = ["StrategyRunResult", "format_table", "format_comparison_table"]
+
+
+@dataclass(frozen=True)
+class StrategyRunResult:
+    """A strategy evaluated on one dataset, with all reported metrics."""
+
+    strategy: str
+    dataset: str
+    map_result: MAPResult
+    average_iou: float
+    uplink_kbps: float
+    downlink_kbps: float
+    average_fps: float
+    windowed_map: np.ndarray
+    cloud_gpu_seconds: float
+    num_training_sessions: int
+    session: SessionResult
+
+    @property
+    def map50(self) -> float:
+        return self.map_result.map50
+
+    @property
+    def map50_percent(self) -> float:
+        return 100.0 * self.map_result.map50
+
+    def row(self) -> dict[str, float | str]:
+        """Flat dictionary used by table formatting and benchmarks."""
+        return {
+            "strategy": self.strategy,
+            "dataset": self.dataset,
+            "mAP@0.5 (%)": round(self.map50_percent, 1),
+            "Avg IoU": round(self.average_iou, 3),
+            "Up BW (Kbps)": round(self.uplink_kbps, 1),
+            "Down BW (Kbps)": round(self.downlink_kbps, 1),
+            "Avg FPS": round(self.average_fps, 1),
+            "Cloud GPU (s)": round(self.cloud_gpu_seconds, 1),
+            "Train sessions": self.num_training_sessions,
+        }
+
+
+def format_table(rows: list[dict[str, float | str]], title: str = "") -> str:
+    """Render a list of flat row dictionaries as an aligned text table."""
+    if not rows:
+        return f"{title}\n(no rows)"
+    columns = list(rows[0].keys())
+    widths = {
+        col: max(len(str(col)), *(len(str(row.get(col, ""))) for row in rows))
+        for col in columns
+    }
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(col).ljust(widths[col]) for col in columns)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[col] for col in columns))
+    for row in rows:
+        lines.append(
+            " | ".join(str(row.get(col, "")).ljust(widths[col]) for col in columns)
+        )
+    return "\n".join(lines)
+
+
+def format_comparison_table(results: list[StrategyRunResult], title: str = "") -> str:
+    """Render strategy-comparison results (Table I style)."""
+    return format_table([result.row() for result in results], title=title)

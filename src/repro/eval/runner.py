@@ -1,0 +1,157 @@
+"""Experiment runner: pretraining, strategy execution and metric aggregation."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import ShoggothConfig
+from repro.core.strategies import Strategy, build_strategy
+from repro.detection.metrics import (
+    evaluate_average_iou,
+    evaluate_map,
+    windowed_map,
+)
+from repro.detection.pretrain import generate_offline_dataset, pretrain_student
+from repro.detection.student import StudentConfig, StudentDetector
+from repro.detection.teacher import TeacherConfig, TeacherDetector
+from repro.eval.results import StrategyRunResult
+from repro.video.datasets import DatasetSpec
+
+__all__ = ["ExperimentSettings", "prepare_student", "run_strategy", "compare_strategies"]
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Shared experiment knobs used by the benchmarks."""
+
+    #: frames per synthetic stream (paper streams are much longer; this is
+    #: sized so the whole benchmark suite completes in CPU-minutes)
+    num_frames: int = 2400
+    #: evaluate accuracy on every N-th frame
+    eval_stride: int = 2
+    #: offline pre-training set size and schedule
+    pretrain_images: int = 400
+    pretrain_epochs: int = 8
+    #: window (in evaluated frames) for the Figure-5 windowed mAP
+    map_window: int = 15
+    #: offline images used to seed the replay memory at deployment time
+    replay_seed_images: int = 30
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if min(self.num_frames, self.eval_stride, self.pretrain_images,
+               self.pretrain_epochs, self.map_window) <= 0:
+            raise ValueError("experiment settings must be positive")
+        if self.replay_seed_images < 0:
+            raise ValueError("replay_seed_images must be non-negative")
+
+    def shoggoth_config(self) -> ShoggothConfig:
+        return ShoggothConfig(eval_stride=self.eval_stride)
+
+
+def prepare_student(
+    settings: ExperimentSettings | None = None,
+    cache_path: str | None = None,
+    student_config: StudentConfig | None = None,
+) -> StudentDetector:
+    """Pre-train (or load from cache) the offline student every strategy starts from."""
+    settings = settings or ExperimentSettings()
+    student = StudentDetector(student_config or StudentConfig(seed=settings.seed + 3))
+
+    if cache_path and os.path.exists(cache_path):
+        student.load(cache_path)
+        return student
+
+    images, labels = generate_offline_dataset(
+        settings.pretrain_images, seed=settings.seed + 100
+    )
+    pretrain_student(
+        student,
+        images,
+        labels,
+        epochs=settings.pretrain_epochs,
+        batch_size=16,
+        lr=0.05,
+        seed=settings.seed,
+    )
+    if cache_path:
+        os.makedirs(os.path.dirname(cache_path) or ".", exist_ok=True)
+        student.save(cache_path)
+    return student
+
+
+def run_strategy(
+    strategy: Strategy | str,
+    dataset: DatasetSpec,
+    student: StudentDetector,
+    settings: ExperimentSettings | None = None,
+    config: ShoggothConfig | None = None,
+    teacher_config: TeacherConfig | None = None,
+) -> StrategyRunResult:
+    """Evaluate one strategy on one dataset starting from a fresh student copy."""
+    settings = settings or ExperimentSettings()
+    if isinstance(strategy, str):
+        strategy = build_strategy(strategy)
+    config = config or settings.shoggoth_config()
+    teacher = TeacherDetector(teacher_config or TeacherConfig(seed=settings.seed + 7))
+
+    replay_seed = None
+    if settings.replay_seed_images > 0:
+        replay_seed = generate_offline_dataset(
+            settings.replay_seed_images, seed=settings.seed + 900
+        )
+
+    session = strategy.run(
+        dataset=dataset,
+        student=student.clone(),
+        teacher=teacher,
+        config=config,
+        seed=settings.seed,
+        replay_seed=replay_seed,
+    )
+
+    map_result = evaluate_map(session.detections_per_frame, session.ground_truth_per_frame)
+    avg_iou = evaluate_average_iou(
+        session.detections_per_frame, session.ground_truth_per_frame
+    )
+    windows = windowed_map(
+        session.detections_per_frame,
+        session.ground_truth_per_frame,
+        window=settings.map_window,
+    )
+    return StrategyRunResult(
+        strategy=session.strategy_name,
+        dataset=dataset.name,
+        map_result=map_result,
+        average_iou=avg_iou,
+        uplink_kbps=session.bandwidth.uplink_kbps,
+        downlink_kbps=session.bandwidth.downlink_kbps,
+        average_fps=session.average_fps,
+        windowed_map=windows,
+        cloud_gpu_seconds=session.cloud_gpu_seconds,
+        num_training_sessions=len(session.training_reports),
+        session=session,
+    )
+
+
+def compare_strategies(
+    dataset: DatasetSpec,
+    student: StudentDetector,
+    strategy_names: list[str] | None = None,
+    settings: ExperimentSettings | None = None,
+    config: ShoggothConfig | None = None,
+    teacher_config: TeacherConfig | None = None,
+) -> dict[str, StrategyRunResult]:
+    """Run several strategies on the same dataset (Table I row group)."""
+    settings = settings or ExperimentSettings()
+    names = strategy_names or ["edge_only", "cloud_only", "prompt", "ams", "shoggoth"]
+    results: dict[str, StrategyRunResult] = {}
+    for name in names:
+        results[name] = run_strategy(
+            name, dataset, student, settings=settings, config=config,
+            teacher_config=teacher_config,
+        )
+    return results

@@ -1,0 +1,45 @@
+"""Network link model between one edge device and the cloud."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.network.messages import Message
+
+__all__ = ["LinkConfig", "NetworkLink"]
+
+
+@dataclass(frozen=True)
+class LinkConfig:
+    """Capacity and latency of the edge-cloud connection."""
+
+    uplink_kbps: float = 10_000.0
+    downlink_kbps: float = 20_000.0
+    rtt_seconds: float = 0.04
+
+    def __post_init__(self) -> None:
+        if self.uplink_kbps <= 0 or self.downlink_kbps <= 0:
+            raise ValueError("link capacities must be positive")
+        if self.rtt_seconds < 0:
+            raise ValueError("rtt must be non-negative")
+
+
+class NetworkLink:
+    """Transfer-time model for messages in either direction."""
+
+    def __init__(self, config: LinkConfig | None = None) -> None:
+        self.config = config or LinkConfig()
+
+    def uplink_seconds(self, message: Message) -> float:
+        """Time to push a message edge -> cloud (propagation + serialisation)."""
+        bits = message.size_bytes() * 8
+        return self.config.rtt_seconds / 2 + bits / (self.config.uplink_kbps * 1000.0)
+
+    def downlink_seconds(self, message: Message) -> float:
+        """Time to push a message cloud -> edge."""
+        bits = message.size_bytes() * 8
+        return self.config.rtt_seconds / 2 + bits / (self.config.downlink_kbps * 1000.0)
+
+    def round_trip_seconds(self, request: Message, response: Message) -> float:
+        """Request up, response down."""
+        return self.uplink_seconds(request) + self.downlink_seconds(response)

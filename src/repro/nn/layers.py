@@ -1,0 +1,509 @@
+"""Layer modules with explicit forward/backward passes.
+
+Each :class:`Module` caches whatever it needs from the forward pass and
+consumes it in :meth:`Module.backward`.  Gradients are accumulated into
+``Parameter.grad`` and applied by an optimizer from :mod:`repro.nn.optim`.
+
+The design intentionally mirrors a small subset of the PyTorch module API
+(``parameters()``, ``train()``/``eval()``, named modules) so that the
+Shoggoth adaptive-training code reads like the system described in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn import initializers as init
+
+__all__ = [
+    "Parameter",
+    "Module",
+    "Linear",
+    "Conv2d",
+    "ReLU",
+    "LeakyReLU",
+    "Sigmoid",
+    "Tanh",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "Flatten",
+    "Dropout",
+    "Identity",
+]
+
+
+class Parameter:
+    """A trainable tensor: value, accumulated gradient and metadata.
+
+    ``lr_scale`` implements the paper's "decrease the learning rate of all
+    layers before the replay layer" rule without having to rebuild optimizer
+    state: the optimizer multiplies its learning rate by this factor.
+    Setting ``trainable = False`` freezes the parameter entirely.
+    """
+
+    def __init__(self, data: np.ndarray, name: str = "param") -> None:
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad = np.zeros_like(self.data)
+        self.name = name
+        self.trainable = True
+        self.lr_scale = 1.0
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        return int(self.data.size)
+
+    def zero_grad(self) -> None:
+        self.grad.fill(0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Parameter(name={self.name!r}, shape={self.data.shape})"
+
+
+class Module:
+    """Base class for all layers and containers."""
+
+    def __init__(self) -> None:
+        self.training = True
+
+    # -- interface -------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def parameters(self) -> list[Parameter]:
+        """All parameters owned by this module (and children, for containers)."""
+        return []
+
+    # -- conveniences ----------------------------------------------------
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    def train(self) -> "Module":
+        self.training = True
+        for child in self.children():
+            child.train()
+        return self
+
+    def eval(self) -> "Module":
+        self.training = False
+        for child in self.children():
+            child.eval()
+        return self
+
+    def children(self) -> Iterator["Module"]:
+        for value in self.__dict__.values():
+            if isinstance(value, Module):
+                yield value
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def num_parameters(self) -> int:
+        """Total number of scalar weights in the module."""
+        return sum(p.size for p in self.parameters())
+
+    def freeze(self) -> "Module":
+        """Mark every parameter as non-trainable."""
+        for param in self.parameters():
+            param.trainable = False
+        return self
+
+    def unfreeze(self) -> "Module":
+        """Mark every parameter as trainable again."""
+        for param in self.parameters():
+            param.trainable = True
+        return self
+
+    def set_lr_scale(self, scale: float) -> "Module":
+        """Scale the learning rate of every parameter in this module."""
+        if scale < 0:
+            raise ValueError("lr scale must be non-negative")
+        for param in self.parameters():
+            param.lr_scale = float(scale)
+        return self
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Copy of every parameter value.
+
+        Keys combine the parameter's position in :meth:`parameters` order with
+        its name, so models that reuse default layer names still round-trip.
+        """
+        return {
+            f"{index}:{param.name}": param.data.copy()
+            for index, param in enumerate(self.parameters())
+        }
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load parameter values produced by :meth:`state_dict`."""
+        params = {
+            f"{index}:{param.name}": param
+            for index, param in enumerate(self.parameters())
+        }
+        missing = set(params) - set(state)
+        unexpected = set(state) - set(params)
+        if missing or unexpected:
+            raise KeyError(
+                f"state dict mismatch: missing={sorted(missing)} unexpected={sorted(unexpected)}"
+            )
+        for name, param in params.items():
+            if param.data.shape != state[name].shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: {param.data.shape} vs {state[name].shape}"
+                )
+            param.data = np.asarray(state[name], dtype=np.float64).copy()
+
+
+class Linear(Module):
+    """Fully connected layer ``y = x W^T + b``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        name: str = "linear",
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("feature dimensions must be positive")
+        rng = rng or np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            init.he_normal((out_features, in_features), in_features, rng),
+            name=f"{name}.weight",
+        )
+        self.bias = (
+            Parameter(init.zeros((out_features,)), name=f"{name}.bias") if bias else None
+        )
+        self._cache_x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(
+                f"expected input of shape (N, {self.in_features}), got {x.shape}"
+            )
+        self._cache_x = x
+        out = x @ self.weight.data.T
+        if self.bias is not None:
+            out = out + self.bias.data
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache_x is None:
+            raise RuntimeError("backward called before forward")
+        x = self._cache_x
+        self.weight.grad += grad.T @ x
+        if self.bias is not None:
+            self.bias.grad += grad.sum(axis=0)
+        return grad @ self.weight.data
+
+    def parameters(self) -> list[Parameter]:
+        params = [self.weight]
+        if self.bias is not None:
+            params.append(self.bias)
+        return params
+
+
+class Conv2d(Module):
+    """2-D convolution over NCHW inputs implemented with im2col."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        name: str = "conv",
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if kernel_size <= 0 or stride <= 0 or padding < 0:
+            raise ValueError("invalid convolution geometry")
+        rng = rng or np.random.default_rng(0)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        fan_in = in_channels * kernel_size * kernel_size
+        self.weight = Parameter(
+            init.he_normal(
+                (out_channels, in_channels, kernel_size, kernel_size), fan_in, rng
+            ),
+            name=f"{name}.weight",
+        )
+        self.bias = (
+            Parameter(init.zeros((out_channels,)), name=f"{name}.bias") if bias else None
+        )
+        self._cache_cols: np.ndarray | None = None
+        self._cache_shape: tuple[int, int, int, int] | None = None
+
+    def output_shape(self, h: int, w: int) -> tuple[int, int]:
+        """Spatial output size for an ``h x w`` input."""
+        out_h = F.conv_output_size(h, self.kernel_size, self.stride, self.padding)
+        out_w = F.conv_output_size(w, self.kernel_size, self.stride, self.padding)
+        return out_h, out_w
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"expected NCHW input with {self.in_channels} channels, got {x.shape}"
+            )
+        n, _, h, w = x.shape
+        out_h, out_w = self.output_shape(h, w)
+        cols = F.im2col(x, self.kernel_size, self.kernel_size, self.stride, self.padding)
+        self._cache_cols = cols
+        self._cache_shape = x.shape
+        w_flat = self.weight.data.reshape(self.out_channels, -1)
+        out = cols @ w_flat.T
+        if self.bias is not None:
+            out = out + self.bias.data
+        return out.reshape(n, out_h, out_w, self.out_channels).transpose(0, 3, 1, 2)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache_cols is None or self._cache_shape is None:
+            raise RuntimeError("backward called before forward")
+        n, _, h, w = self._cache_shape
+        grad_flat = grad.transpose(0, 2, 3, 1).reshape(-1, self.out_channels)
+        w_flat = self.weight.data.reshape(self.out_channels, -1)
+
+        self.weight.grad += (grad_flat.T @ self._cache_cols).reshape(self.weight.data.shape)
+        if self.bias is not None:
+            self.bias.grad += grad_flat.sum(axis=0)
+
+        grad_cols = grad_flat @ w_flat
+        return F.col2im(
+            grad_cols,
+            self._cache_shape,
+            self.kernel_size,
+            self.kernel_size,
+            self.stride,
+            self.padding,
+        )
+
+    def parameters(self) -> list[Parameter]:
+        params = [self.weight]
+        if self.bias is not None:
+            params.append(self.bias)
+        return params
+
+
+class ReLU(Module):
+    """Elementwise rectified linear unit."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return np.where(self._mask, grad, 0.0)
+
+
+class LeakyReLU(Module):
+    """Leaky rectifier with configurable negative slope."""
+
+    def __init__(self, negative_slope: float = 0.1) -> None:
+        super().__init__()
+        if negative_slope < 0:
+            raise ValueError("negative_slope must be non-negative")
+        self.negative_slope = negative_slope
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, self.negative_slope * x)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return np.where(self._mask, grad, self.negative_slope * grad)
+
+
+class Sigmoid(Module):
+    """Elementwise logistic sigmoid."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._out: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._out = F.sigmoid(x)
+        return self._out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise RuntimeError("backward called before forward")
+        return grad * self._out * (1.0 - self._out)
+
+
+class Tanh(Module):
+    """Elementwise hyperbolic tangent."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._out: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._out = np.tanh(x)
+        return self._out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise RuntimeError("backward called before forward")
+        return grad * (1.0 - self._out**2)
+
+
+class MaxPool2d(Module):
+    """Max pooling over non-overlapping (or strided) windows of NCHW inputs."""
+
+    def __init__(self, kernel_size: int, stride: int | None = None) -> None:
+        super().__init__()
+        if kernel_size <= 0:
+            raise ValueError("kernel_size must be positive")
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        self._cache: tuple[np.ndarray, np.ndarray, tuple[int, ...]] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        k, s = self.kernel_size, self.stride
+        out_h = F.conv_output_size(h, k, s, 0)
+        out_w = F.conv_output_size(w, k, s, 0)
+        cols = F.im2col(x.reshape(n * c, 1, h, w), k, k, s, 0)
+        argmax = cols.argmax(axis=1)
+        out = cols[np.arange(cols.shape[0]), argmax]
+        self._cache = (argmax, np.array(cols.shape), x.shape)
+        return out.reshape(n, c, out_h, out_w)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        argmax, cols_shape, x_shape = self._cache
+        n, c, h, w = x_shape
+        k, s = self.kernel_size, self.stride
+        grad_cols = np.zeros(tuple(cols_shape), dtype=np.float64)
+        grad_cols[np.arange(grad_cols.shape[0]), argmax] = grad.reshape(-1)
+        dx = F.col2im(grad_cols, (n * c, 1, h, w), k, k, s, 0)
+        return dx.reshape(n, c, h, w)
+
+
+class AvgPool2d(Module):
+    """Average pooling over NCHW inputs."""
+
+    def __init__(self, kernel_size: int, stride: int | None = None) -> None:
+        super().__init__()
+        if kernel_size <= 0:
+            raise ValueError("kernel_size must be positive")
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        self._x_shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        k, s = self.kernel_size, self.stride
+        out_h = F.conv_output_size(h, k, s, 0)
+        out_w = F.conv_output_size(w, k, s, 0)
+        cols = F.im2col(x.reshape(n * c, 1, h, w), k, k, s, 0)
+        self._x_shape = x.shape
+        return cols.mean(axis=1).reshape(n, c, out_h, out_w)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._x_shape is None:
+            raise RuntimeError("backward called before forward")
+        n, c, h, w = self._x_shape
+        k, s = self.kernel_size, self.stride
+        grad_flat = grad.reshape(-1, 1)
+        grad_cols = np.repeat(grad_flat / (k * k), k * k, axis=1)
+        dx = F.col2im(grad_cols, (n * c, 1, h, w), k, k, s, 0)
+        return dx.reshape(n, c, h, w)
+
+
+class GlobalAvgPool2d(Module):
+    """Average over the full spatial extent, producing ``(N, C)`` features."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._x_shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x_shape = x.shape
+        return x.mean(axis=(2, 3))
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._x_shape is None:
+            raise RuntimeError("backward called before forward")
+        n, c, h, w = self._x_shape
+        return np.broadcast_to(grad[:, :, None, None], (n, c, h, w)) / (h * w)
+
+
+class Flatten(Module):
+    """Flatten all dimensions after the batch dimension."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._x_shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x_shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._x_shape is None:
+            raise RuntimeError("backward called before forward")
+        return grad.reshape(self._x_shape)
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in eval mode."""
+
+    def __init__(self, p: float = 0.5, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError("dropout probability must be in [0, 1)")
+        self.p = p
+        self._rng = rng or np.random.default_rng(0)
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if not self.training or self.p == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.p
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad
+        return grad * self._mask
+
+
+class Identity(Module):
+    """Pass-through layer; useful as a named cut point in Sequential models."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return x
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return grad

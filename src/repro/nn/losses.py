@@ -1,0 +1,180 @@
+"""Loss functions with analytic gradients.
+
+Each loss exposes ``forward(pred, target) -> float`` and
+``backward() -> np.ndarray`` (gradient w.r.t. the prediction made in the most
+recent forward call).  All losses average over the batch dimension so the
+gradient magnitude is independent of mini-batch size, which matters for the
+paper's tiny adaptive-training batches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+
+__all__ = [
+    "Loss",
+    "MSELoss",
+    "BCEWithLogitsLoss",
+    "CrossEntropyLoss",
+    "SmoothL1Loss",
+    "FocalLoss",
+]
+
+
+class Loss:
+    """Base class; subclasses cache whatever backward needs."""
+
+    def forward(self, pred: np.ndarray, target: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def backward(self) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, pred: np.ndarray, target: np.ndarray) -> float:
+        return self.forward(pred, target)
+
+    @staticmethod
+    def _check_shapes(pred: np.ndarray, target: np.ndarray) -> None:
+        if pred.shape != target.shape:
+            raise ValueError(f"shape mismatch: pred {pred.shape} vs target {target.shape}")
+
+
+class MSELoss(Loss):
+    """Mean squared error."""
+
+    def __init__(self) -> None:
+        self._diff: np.ndarray | None = None
+
+    def forward(self, pred: np.ndarray, target: np.ndarray) -> float:
+        self._check_shapes(pred, target)
+        self._diff = pred - target
+        return float(np.mean(self._diff**2))
+
+    def backward(self) -> np.ndarray:
+        if self._diff is None:
+            raise RuntimeError("backward called before forward")
+        return 2.0 * self._diff / self._diff.size
+
+
+class BCEWithLogitsLoss(Loss):
+    """Binary cross-entropy on logits with optional per-element weights."""
+
+    def __init__(self, weight: np.ndarray | None = None) -> None:
+        self.weight = weight
+        self._cache: tuple[np.ndarray, np.ndarray] | None = None
+
+    def forward(self, pred: np.ndarray, target: np.ndarray) -> float:
+        self._check_shapes(pred, target)
+        prob = F.sigmoid(pred)
+        self._cache = (prob, target)
+        eps = 1e-12
+        loss = -(target * np.log(prob + eps) + (1 - target) * np.log(1 - prob + eps))
+        if self.weight is not None:
+            loss = loss * self.weight
+        return float(np.mean(loss))
+
+    def backward(self) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        prob, target = self._cache
+        grad = (prob - target) / prob.size
+        if self.weight is not None:
+            grad = grad * self.weight
+        return grad
+
+
+class CrossEntropyLoss(Loss):
+    """Softmax cross-entropy on logits of shape ``(N, C)`` with integer targets."""
+
+    def __init__(self) -> None:
+        self._cache: tuple[np.ndarray, np.ndarray] | None = None
+
+    def forward(self, pred: np.ndarray, target: np.ndarray) -> float:
+        if pred.ndim != 2:
+            raise ValueError(f"logits must be (N, C), got {pred.shape}")
+        target = np.asarray(target, dtype=np.int64)
+        if target.shape != (pred.shape[0],):
+            raise ValueError(f"targets must be (N,), got {target.shape}")
+        log_probs = F.log_softmax(pred, axis=1)
+        self._cache = (F.softmax(pred, axis=1), target)
+        return float(-np.mean(log_probs[np.arange(pred.shape[0]), target]))
+
+    def backward(self) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        probs, target = self._cache
+        grad = probs.copy()
+        grad[np.arange(probs.shape[0]), target] -= 1.0
+        return grad / probs.shape[0]
+
+
+class SmoothL1Loss(Loss):
+    """Huber-style loss used for bounding-box regression."""
+
+    def __init__(self, beta: float = 1.0) -> None:
+        if beta <= 0:
+            raise ValueError("beta must be positive")
+        self.beta = beta
+        self._diff: np.ndarray | None = None
+
+    def forward(self, pred: np.ndarray, target: np.ndarray) -> float:
+        self._check_shapes(pred, target)
+        self._diff = pred - target
+        abs_diff = np.abs(self._diff)
+        quadratic = 0.5 * self._diff**2 / self.beta
+        linear = abs_diff - 0.5 * self.beta
+        return float(np.mean(np.where(abs_diff < self.beta, quadratic, linear)))
+
+    def backward(self) -> np.ndarray:
+        if self._diff is None:
+            raise RuntimeError("backward called before forward")
+        abs_diff = np.abs(self._diff)
+        grad = np.where(abs_diff < self.beta, self._diff / self.beta, np.sign(self._diff))
+        return grad / self._diff.size
+
+
+class FocalLoss(Loss):
+    """Binary focal loss on logits; down-weights easy negatives.
+
+    Useful for the objectness output of the grid detector where most cells
+    are background (the class-imbalance problem the paper's Fig. 1 points at).
+    """
+
+    def __init__(self, gamma: float = 2.0, alpha: float = 0.25) -> None:
+        if gamma < 0:
+            raise ValueError("gamma must be non-negative")
+        if not 0.0 < alpha < 1.0:
+            raise ValueError("alpha must be in (0, 1)")
+        self.gamma = gamma
+        self.alpha = alpha
+        self._cache: tuple[np.ndarray, np.ndarray] | None = None
+
+    def forward(self, pred: np.ndarray, target: np.ndarray) -> float:
+        self._check_shapes(pred, target)
+        prob = F.sigmoid(pred)
+        self._cache = (prob, target)
+        eps = 1e-12
+        pt = np.where(target > 0.5, prob, 1.0 - prob)
+        alpha_t = np.where(target > 0.5, self.alpha, 1.0 - self.alpha)
+        loss = -alpha_t * (1.0 - pt) ** self.gamma * np.log(pt + eps)
+        return float(np.mean(loss))
+
+    def backward(self) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        prob, target = self._cache
+        eps = 1e-12
+        pt = np.where(target > 0.5, prob, 1.0 - prob)
+        alpha_t = np.where(target > 0.5, self.alpha, 1.0 - self.alpha)
+        # dL/dpt of -alpha (1-pt)^g log(pt)
+        d_pt = alpha_t * (
+            self.gamma * (1.0 - pt) ** (self.gamma - 1.0) * np.log(pt + eps)
+            - (1.0 - pt) ** self.gamma / (pt + eps)
+        )
+        # dpt/dlogit = pt(1-pt) for positives, -pt(1-pt)... careful with sign:
+        # pt = prob if positive else 1-prob ; dprob/dlogit = prob(1-prob)
+        dprob_dlogit = prob * (1.0 - prob)
+        dpt_dlogit = np.where(target > 0.5, dprob_dlogit, -dprob_dlogit)
+        return d_pt * dpt_dlogit / prob.size

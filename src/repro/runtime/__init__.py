@@ -1,0 +1,29 @@
+"""Execution-platform simulation: edge/cloud compute, FPS and resource usage.
+
+The paper's evaluation platform is an NVIDIA Jetson TX2 edge device and a
+single-V100 cloud server.  Neither is available here, so this package models
+their *capacity*: how long student inference, adaptive training and teacher
+inference take, how training contends with real-time inference on the edge
+(Figure 4's FPS dip), and how busy the device is (the λ signal used by the
+adaptive sampling controller).
+"""
+
+from repro.runtime.clock import SimulationClock
+from repro.runtime.device import (
+    EdgeComputeModel,
+    CloudComputeModel,
+    TrainingCostModel,
+    TrainingCost,
+)
+from repro.runtime.fps import FPSTracker
+from repro.runtime.resources import ResourceMonitor
+
+__all__ = [
+    "SimulationClock",
+    "EdgeComputeModel",
+    "CloudComputeModel",
+    "TrainingCostModel",
+    "TrainingCost",
+    "FPSTracker",
+    "ResourceMonitor",
+]

@@ -1,0 +1,32 @@
+"""Simulation clock: simple monotonically-advancing wall time in seconds."""
+
+from __future__ import annotations
+
+__all__ = ["SimulationClock"]
+
+
+class SimulationClock:
+    """Tracks simulated wall-clock time for a session."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError("start time must be non-negative")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward and return the new time."""
+        if seconds < 0:
+            raise ValueError("cannot advance time backwards")
+        self._now += seconds
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Advance to an absolute timestamp (no-op if already past it)."""
+        if timestamp > self._now:
+            self._now = float(timestamp)
+        return self._now

@@ -1,0 +1,53 @@
+"""Inference-throughput (FPS) tracking for the edge device.
+
+Reproduces the measurement behind the paper's Figure 4: the per-second frame
+rate the edge device sustains, which dips while adaptive training contends
+for compute, and the average FPS over the whole session.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["FPSTracker"]
+
+
+class FPSTracker:
+    """Accumulates processed-frame counts into one-second buckets."""
+
+    def __init__(self) -> None:
+        self._buckets: dict[int, float] = {}
+        self._max_second = -1
+
+    def record_frame(self, timestamp: float, weight: float = 1.0) -> None:
+        """Record that a frame finished processing at ``timestamp`` seconds."""
+        if timestamp < 0:
+            raise ValueError("timestamp must be non-negative")
+        if weight < 0:
+            raise ValueError("weight must be non-negative")
+        second = int(timestamp)
+        self._buckets[second] = self._buckets.get(second, 0.0) + weight
+        self._max_second = max(self._max_second, second)
+
+    def trace(self) -> np.ndarray:
+        """Per-second FPS values from t=0 to the last recorded second."""
+        if self._max_second < 0:
+            return np.zeros(0)
+        out = np.zeros(self._max_second + 1)
+        for second, count in self._buckets.items():
+            out[second] = count
+        return out
+
+    def average_fps(self) -> float:
+        """Mean FPS over the observed duration."""
+        trace = self.trace()
+        if trace.size == 0:
+            return 0.0
+        return float(trace.mean())
+
+    def minimum_fps(self) -> float:
+        """Lowest per-second FPS observed (excluding the possibly-partial last second)."""
+        trace = self.trace()
+        if trace.size <= 1:
+            return float(trace.min()) if trace.size else 0.0
+        return float(trace[:-1].min())

@@ -1,0 +1,62 @@
+"""Edge-device resource-usage monitoring (the λ signal).
+
+The paper's adaptive frame sampling uses "the resource usage over a period of
+time": the edge device continuously collects GPU/CPU usage in percent every
+second and reports it to the cloud (Sec. III-C).  The monitor below plays
+that role in simulation: busy compute-seconds are recorded as they are spent
+(inference and training), and utilisation can be queried per reporting
+window.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ResourceMonitor"]
+
+
+class ResourceMonitor:
+    """Tracks busy compute-seconds per one-second interval."""
+
+    def __init__(self, capacity_seconds_per_second: float = 1.0) -> None:
+        if capacity_seconds_per_second <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity_seconds_per_second
+        self._busy: dict[int, float] = {}
+        self._max_second = -1
+
+    def record_busy(self, timestamp: float, busy_seconds: float) -> None:
+        """Record ``busy_seconds`` of compute spent at ``timestamp``."""
+        if timestamp < 0:
+            raise ValueError("timestamp must be non-negative")
+        if busy_seconds < 0:
+            raise ValueError("busy_seconds must be non-negative")
+        second = int(timestamp)
+        self._busy[second] = self._busy.get(second, 0.0) + busy_seconds
+        self._max_second = max(self._max_second, second)
+
+    def utilization_trace(self) -> np.ndarray:
+        """Per-second utilisation in [0, 1] from t=0 to the last busy second."""
+        if self._max_second < 0:
+            return np.zeros(0)
+        out = np.zeros(self._max_second + 1)
+        for second, busy in self._busy.items():
+            out[second] = min(1.0, busy / self.capacity)
+        return out
+
+    def utilization(self, start: float, end: float) -> float:
+        """Mean utilisation over the window ``[start, end)`` in seconds."""
+        if end <= start:
+            return 0.0
+        seconds = range(int(start), max(int(start) + 1, int(np.ceil(end))))
+        values = [min(1.0, self._busy.get(s, 0.0) / self.capacity) for s in seconds]
+        if not values:
+            return 0.0
+        return float(np.mean(values))
+
+    def average_utilization(self) -> float:
+        """Mean utilisation over the whole observed duration."""
+        trace = self.utilization_trace()
+        if trace.size == 0:
+            return 0.0
+        return float(trace.mean())

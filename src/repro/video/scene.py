@@ -1,0 +1,178 @@
+"""Persistent scene model producing temporally-correlated object layouts.
+
+Objects enter the scene, move across it with smooth trajectories and leave,
+so consecutive frames are strongly correlated over short intervals (the
+"strong correlation of video frames over short time intervals", Sec. I)
+while the population slowly turns over.  Object counts and class mix follow
+the active :class:`~repro.video.domains.Domain`.
+
+All geometry is normalised: positions and sizes live in ``[0, 1]`` relative
+to the frame, so the same scene can be rendered at any resolution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.video.domains import Domain, NUM_CLASSES
+
+__all__ = ["GroundTruthBox", "SceneObject", "SceneConfig", "Scene"]
+
+#: Per-class nominal object size (width, height) in normalised coordinates.
+_CLASS_SIZES: tuple[tuple[float, float], ...] = (
+    (0.16, 0.12),  # car
+    (0.24, 0.18),  # truck
+    (0.30, 0.22),  # bus
+    (0.19, 0.15),  # van
+)
+
+
+@dataclass(frozen=True)
+class GroundTruthBox:
+    """Axis-aligned ground-truth box in normalised xywh (centre) format."""
+
+    class_id: int
+    cx: float
+    cy: float
+    w: float
+    h: float
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.class_id < NUM_CLASSES:
+            raise ValueError(f"class_id out of range: {self.class_id}")
+        if self.w <= 0 or self.h <= 0:
+            raise ValueError("box width/height must be positive")
+
+    def as_xyxy(self) -> tuple[float, float, float, float]:
+        """Corner representation ``(x1, y1, x2, y2)``."""
+        return (
+            self.cx - self.w / 2,
+            self.cy - self.h / 2,
+            self.cx + self.w / 2,
+            self.cy + self.h / 2,
+        )
+
+
+@dataclass
+class SceneObject:
+    """A single object instance moving through the scene."""
+
+    object_id: int
+    class_id: int
+    cx: float
+    cy: float
+    w: float
+    h: float
+    vx: float
+    vy: float
+    appearance: float  # per-instance appearance offset in [-1, 1]
+
+    def step(self, dt: float) -> None:
+        """Advance the object along its trajectory."""
+        self.cx += self.vx * dt
+        self.cy += self.vy * dt
+
+    def in_view(self, margin: float = 0.25) -> bool:
+        """Whether the object is still within (or near) the frame."""
+        return -margin <= self.cx <= 1.0 + margin and -margin <= self.cy <= 1.0 + margin
+
+    def to_ground_truth(self) -> GroundTruthBox:
+        return GroundTruthBox(self.class_id, self.cx, self.cy, self.w, self.h)
+
+
+@dataclass(frozen=True)
+class SceneConfig:
+    """Parameters of the object population dynamics."""
+
+    mean_objects: float = 3.0
+    max_objects: int = 8
+    arrival_rate: float = 0.08  # expected arrivals per frame at density 1.0
+    speed_mean: float = 0.004   # normalised units per frame
+    speed_std: float = 0.002
+    size_jitter: float = 0.20   # relative size variation between instances
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mean_objects <= 0 or self.max_objects <= 0:
+            raise ValueError("object counts must be positive")
+        if self.arrival_rate < 0 or self.speed_mean < 0 or self.speed_std < 0:
+            raise ValueError("rates and speeds must be non-negative")
+        if not 0 <= self.size_jitter < 1:
+            raise ValueError("size_jitter must be in [0, 1)")
+
+
+class Scene:
+    """Evolving population of objects driven by the active domain."""
+
+    def __init__(self, config: SceneConfig | None = None) -> None:
+        self.config = config or SceneConfig()
+        self._rng = np.random.default_rng(self.config.seed)
+        self._objects: list[SceneObject] = []
+        self._next_id = 0
+        self._frame_index = 0
+
+    # -- population dynamics ----------------------------------------------
+    @property
+    def objects(self) -> list[SceneObject]:
+        """Current objects (live view; callers must not mutate)."""
+        return self._objects
+
+    def _spawn(self, domain: Domain) -> SceneObject:
+        class_id = int(
+            self._rng.choice(NUM_CLASSES, p=domain.class_distribution)
+        )
+        base_w, base_h = _CLASS_SIZES[class_id]
+        jitter = 1.0 + self._rng.uniform(-self.config.size_jitter, self.config.size_jitter)
+        w, h = base_w * jitter, base_h * jitter
+
+        # objects enter from the left or right edge and traverse horizontally,
+        # like traffic passing a fixed surveillance camera
+        from_left = self._rng.random() < 0.5
+        speed = max(1e-4, self._rng.normal(self.config.speed_mean, self.config.speed_std))
+        obj = SceneObject(
+            object_id=self._next_id,
+            class_id=class_id,
+            cx=-w / 2 if from_left else 1.0 + w / 2,
+            cy=float(self._rng.uniform(0.25, 0.85)),
+            w=w,
+            h=h,
+            vx=speed if from_left else -speed,
+            vy=float(self._rng.normal(0.0, self.config.speed_std * 0.3)),
+            appearance=float(self._rng.uniform(-1.0, 1.0)),
+        )
+        self._next_id += 1
+        return obj
+
+    def step(self, domain: Domain) -> list[GroundTruthBox]:
+        """Advance the scene by one frame and return the ground-truth boxes."""
+        # move existing objects and cull those that left the view
+        for obj in self._objects:
+            obj.step(dt=1.0)
+        self._objects = [obj for obj in self._objects if obj.in_view()]
+
+        # spawn new arrivals, biased towards the domain's target density
+        target = self.config.mean_objects * domain.density_multiplier
+        deficit = max(0.0, target - len(self._objects))
+        rate = self.config.arrival_rate * domain.density_multiplier * (1.0 + deficit)
+        arrivals = int(self._rng.poisson(rate))
+        for _ in range(arrivals):
+            if len(self._objects) >= self.config.max_objects:
+                break
+            self._objects.append(self._spawn(domain))
+
+        self._frame_index += 1
+        return [obj.to_ground_truth() for obj in self._objects if self._is_visible(obj)]
+
+    @staticmethod
+    def _is_visible(obj: SceneObject) -> bool:
+        """Ground truth only includes objects whose centre is inside the frame."""
+        return 0.0 <= obj.cx <= 1.0 and 0.0 <= obj.cy <= 1.0
+
+    def warm_up(self, domain: Domain, frames: int = 120) -> None:
+        """Run the dynamics for a while so the scene starts populated."""
+        if frames < 0:
+            raise ValueError("frames must be non-negative")
+        for _ in range(frames):
+            self.step(domain)

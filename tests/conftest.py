@@ -1,0 +1,12 @@
+"""Shared pytest fixtures for the Shoggoth reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic random generator used across tests."""
+    return np.random.default_rng(1234)

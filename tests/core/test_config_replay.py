@@ -1,0 +1,153 @@
+"""Tests for the Shoggoth configuration objects and the replay memory (Algorithm 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    AdaptiveTrainingConfig,
+    LabelingConfig,
+    ReplayItem,
+    ReplayMemory,
+    SamplingConfig,
+    ShoggothConfig,
+    paper_scale_config,
+)
+from repro.detection import GridCodec
+from repro.video import GroundTruthBox
+
+
+class TestConfigs:
+    def test_defaults_valid(self):
+        config = ShoggothConfig()
+        assert config.training.replay_layer == "pool"
+        assert config.sampling.min_rate_fps == pytest.approx(0.1)
+        assert config.sampling.max_rate_fps == pytest.approx(2.0)
+
+    def test_paper_scale_values(self):
+        config = paper_scale_config()
+        assert config.training.train_batch_size == 300
+        assert config.training.replay_capacity == 1500
+        assert config.training.minibatch_size == 64
+        assert config.training.epochs == 8
+
+    def test_with_training_and_sampling(self):
+        config = ShoggothConfig()
+        changed = config.with_training(replay_layer="input").with_sampling(adaptive=False)
+        assert changed.training.replay_layer == "input"
+        assert not changed.sampling.adaptive
+        # original untouched
+        assert config.training.replay_layer == "pool"
+
+    def test_training_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveTrainingConfig(train_batch_size=0)
+        with pytest.raises(ValueError):
+            AdaptiveTrainingConfig(front_lr_scale=2.0)
+        with pytest.raises(ValueError):
+            AdaptiveTrainingConfig(learning_rate=-0.1)
+
+    def test_sampling_validation(self):
+        with pytest.raises(ValueError):
+            SamplingConfig(min_rate_fps=2.0, max_rate_fps=0.1)
+        with pytest.raises(ValueError):
+            SamplingConfig(initial_rate_fps=5.0)
+        with pytest.raises(ValueError):
+            SamplingConfig(confidence_threshold=1.0)
+
+    def test_labeling_validation(self):
+        with pytest.raises(ValueError):
+            LabelingConfig(min_teacher_confidence=1.0)
+
+    def test_eval_stride_validation(self):
+        with pytest.raises(ValueError):
+            ShoggothConfig(eval_stride=0)
+
+
+def make_items(count, start=0):
+    codec = GridCodec(4)
+    items = []
+    for i in range(count):
+        targets = codec.encode([GroundTruthBox(0, 0.5, 0.5, 0.2, 0.2)])
+        items.append(ReplayItem(activation=np.full((2, 2), start + i, dtype=float), targets=targets))
+    return items
+
+
+class TestReplayMemory:
+    def test_fills_until_capacity(self):
+        memory = ReplayMemory(capacity=10)
+        memory.update(make_items(4))
+        assert len(memory) == 4
+        memory.update(make_items(4))
+        assert len(memory) == 8
+        memory.update(make_items(4))
+        assert len(memory) == 10  # clipped at capacity
+
+    def test_replacement_keeps_capacity(self):
+        memory = ReplayMemory(capacity=6)
+        for i in range(10):
+            memory.update(make_items(6, start=i * 10))
+        assert len(memory) == 6
+        assert memory.training_runs == 10
+
+    def test_replacement_count_follows_algorithm(self):
+        """Once full, roughly Msize/i items are replaced per run."""
+        memory = ReplayMemory(capacity=8, seed=1)
+        memory.update(make_items(8, start=0))       # run 1 fills
+        before = [item.activation[0, 0] for item in memory.items]
+        memory.update(make_items(8, start=100))     # run 2: h = 8/2 = 4 replacements
+        after = [item.activation[0, 0] for item in memory.items]
+        replaced = sum(1 for b, a in zip(before, after) if b != a)
+        assert replaced == 4
+
+    def test_memory_spans_many_past_batches(self):
+        """Reservoir-style refresh keeps a spread of past batches in memory,
+        not just the most recent ones (the forgetting-prevention property)."""
+        memory = ReplayMemory(capacity=12, seed=0)
+        memory.update(make_items(12, start=0))
+        for i in range(1, 20):
+            memory.update(make_items(12, start=i * 100))
+        batches = {int(item.activation[0, 0] // 100) for item in memory.items}
+        assert len(batches) >= 4           # diverse history, not a FIFO of the last batch
+        assert min(batches) < 15           # includes something well before the latest batches
+
+    def test_sample(self):
+        memory = ReplayMemory(capacity=10, seed=0)
+        memory.update(make_items(10))
+        assert len(memory.sample(4)) == 4
+        assert len(memory.sample(50)) == 10
+
+    def test_insertion_ages(self):
+        memory = ReplayMemory(capacity=4)
+        memory.update(make_items(4))
+        memory.update([])
+        ages = memory.insertion_ages()
+        assert np.all(ages == 1)
+
+    def test_empty_update_counts_run(self):
+        memory = ReplayMemory(capacity=4)
+        memory.update([])
+        assert memory.training_runs == 1 and len(memory) == 0
+
+    def test_clear(self):
+        memory = ReplayMemory(capacity=4)
+        memory.update(make_items(4))
+        memory.clear()
+        assert len(memory) == 0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            ReplayMemory(0)
+        with pytest.raises(ValueError):
+            ReplayMemory(4).sample(-1)
+
+    @settings(deadline=None, max_examples=20)
+    @given(capacity=st.integers(2, 20), batches=st.integers(1, 15), batch_size=st.integers(1, 8))
+    def test_never_exceeds_capacity(self, capacity, batches, batch_size):
+        memory = ReplayMemory(capacity=capacity, seed=3)
+        for i in range(batches):
+            memory.update(make_items(batch_size, start=i * 50))
+            assert len(memory) <= capacity

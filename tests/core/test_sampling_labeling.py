@@ -1,0 +1,142 @@
+"""Tests for the φ/α signals, the sampling-rate controller and online labeling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    LabelingConfig,
+    OnlineLabeler,
+    SamplingConfig,
+    SamplingRateController,
+    compute_phi,
+    estimate_alpha,
+)
+from repro.detection import Detection, TeacherConfig, TeacherDetector
+from repro.video import DAY_SUNNY, NIGHT, FrameRenderer, GroundTruthBox, RenderConfig
+from repro.video.stream import Frame
+
+
+def det(score, cx=0.5, class_id=0):
+    return Detection(class_id=class_id, cx=cx, cy=0.5, w=0.2, h=0.2, score=score)
+
+
+def make_frame(boxes, domain=DAY_SUNNY, index=0):
+    renderer = FrameRenderer(RenderConfig(seed=0))
+    return Frame(
+        index=index,
+        timestamp=index / 30.0,
+        image=renderer.render(list(boxes), domain),
+        ground_truth=tuple(boxes),
+        domain_name=domain.name,
+        motion=0.1,
+    )
+
+
+class TestPhi:
+    def test_stationary_labels_give_low_phi(self):
+        labels = [[det(0.9)], [det(0.9)], [det(0.9)]]
+        assert compute_phi(labels) == 0.0
+
+    def test_changing_labels_give_high_phi(self):
+        labels = [[det(0.9, cx=0.1)], [det(0.9, cx=0.5)], [det(0.9, cx=0.9)]]
+        assert compute_phi(labels) == 1.0
+
+    def test_single_frame_gives_zero(self):
+        assert compute_phi([[det(0.9)]]) == 0.0
+
+
+class TestAlpha:
+    def test_all_confident(self):
+        assert estimate_alpha([[det(0.9), det(0.8)]], 0.5) == 1.0
+
+    def test_none_confident(self):
+        assert estimate_alpha([[det(0.2)]], 0.5) == 0.0
+
+    def test_empty_frames_count_as_inaccurate(self):
+        assert estimate_alpha([[], [det(0.9)]], 0.5) == 0.5
+
+    def test_no_frames(self):
+        assert estimate_alpha([], 0.5) == 0.0
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            estimate_alpha([[det(0.9)]], 0.0)
+
+
+class TestController:
+    def make(self, **kwargs):
+        return SamplingRateController(SamplingConfig(**kwargs))
+
+    def test_rate_stays_within_bounds(self):
+        controller = self.make()
+        for phi, alpha in [(1.0, 0.0), (0.0, 1.0), (0.5, 0.5)] * 5:
+            rate = controller.update(phi=phi, alpha=alpha, lambda_current=0.9)
+            assert 0.1 <= rate <= 2.0
+
+    def test_fast_changing_low_accuracy_raises_rate(self):
+        controller = self.make(initial_rate_fps=0.5)
+        rate = controller.update(phi=1.0, alpha=0.0, lambda_current=0.9)
+        assert rate > 0.5
+
+    def test_stationary_accurate_scene_lowers_rate(self):
+        controller = self.make(initial_rate_fps=1.0)
+        rate = None
+        for _ in range(5):
+            rate = controller.update(phi=0.0, alpha=1.0, lambda_current=0.9)
+        assert rate < 1.0
+
+    def test_non_adaptive_keeps_rate(self):
+        controller = self.make(adaptive=False, initial_rate_fps=2.0)
+        assert controller.update(phi=1.0, alpha=0.0, lambda_current=1.0) == 2.0
+
+    def test_history_recorded(self):
+        controller = self.make()
+        controller.update(phi=0.5, alpha=0.5, lambda_current=0.8)
+        assert len(controller.history) == 1
+        signals = controller.history[0]
+        assert signals.phi == 0.5 and signals.rate_after == controller.rate
+
+    def test_reset(self):
+        controller = self.make(initial_rate_fps=1.5)
+        controller.update(phi=1.0, alpha=0.0, lambda_current=1.0)
+        controller.reset()
+        assert controller.rate == 1.5
+        assert controller.history == []
+
+    def test_resource_trend_scales_rate(self):
+        """Eq. 3: R(λ) multiplies the previous rate by (1 + Δλ)."""
+        controller = self.make(initial_rate_fps=1.0, phi_target=0.5, alpha_target=0.0)
+        # φ at target, α above target -> only the λ term acts
+        r1 = controller.update(phi=0.5, alpha=1.0, lambda_current=0.5)
+        r2 = controller.update(phi=0.5, alpha=1.0, lambda_current=0.9)
+        assert r2 > r1 * 0.99  # increasing utilisation does not decrease the rate
+
+
+class TestOnlineLabeler:
+    def test_pseudo_labels_follow_teacher(self):
+        teacher = TeacherDetector(TeacherConfig(base_miss_rate=0.0, base_false_positive_rate=0.0,
+                                                base_class_confusion=0.0, seed=1))
+        labeler = OnlineLabeler(teacher)
+        boxes = [GroundTruthBox(0, 0.5, 0.5, 0.2, 0.2)]
+        labeled = labeler.label_frame(make_frame(boxes), DAY_SUNNY)
+        assert labeled.num_boxes == 1
+        assert labeled.pseudo_labels[0].class_id == 0
+
+    def test_low_confidence_labels_dropped(self):
+        teacher = TeacherDetector(TeacherConfig(min_confidence=0.55, max_confidence=0.6, seed=2))
+        labeler = OnlineLabeler(teacher, LabelingConfig(min_teacher_confidence=0.9))
+        boxes = [GroundTruthBox(0, 0.5, 0.5, 0.2, 0.2)]
+        labeled = labeler.label_frame(make_frame(boxes), DAY_SUNNY)
+        assert labeled.num_boxes == 0
+
+    def test_batch_requires_matching_lengths(self):
+        labeler = OnlineLabeler(TeacherDetector())
+        with pytest.raises(ValueError):
+            labeler.label_batch([make_frame([])], [DAY_SUNNY, NIGHT])
+
+    def test_gpu_seconds(self):
+        labeler = OnlineLabeler(TeacherDetector(TeacherConfig(inference_seconds=0.05)))
+        assert labeler.gpu_seconds(10) == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            labeler.gpu_seconds(-1)

@@ -1,0 +1,231 @@
+"""Tests for repro.nn.layers: forward shapes and numeric gradient checks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+def numeric_grad_input(layer: nn.Module, x: np.ndarray, eps: float = 1e-5) -> np.ndarray:
+    """Central-difference gradient of sum(layer(x)) w.r.t. x."""
+    grad = np.zeros_like(x)
+    flat_x = x.reshape(-1)
+    flat_g = grad.reshape(-1)
+    for i in range(flat_x.size):
+        orig = flat_x[i]
+        flat_x[i] = orig + eps
+        plus = float(np.sum(layer.forward(x)))
+        flat_x[i] = orig - eps
+        minus = float(np.sum(layer.forward(x)))
+        flat_x[i] = orig
+        flat_g[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def analytic_grad_input(layer: nn.Module, x: np.ndarray) -> np.ndarray:
+    out = layer.forward(x)
+    return layer.backward(np.ones_like(out))
+
+
+def numeric_grad_params(layer: nn.Module, x: np.ndarray, eps: float = 1e-5) -> dict[str, np.ndarray]:
+    grads = {}
+    for param in layer.parameters():
+        g = np.zeros_like(param.data)
+        flat_d = param.data.reshape(-1)
+        flat_g = g.reshape(-1)
+        for i in range(flat_d.size):
+            orig = flat_d[i]
+            flat_d[i] = orig + eps
+            plus = float(np.sum(layer.forward(x)))
+            flat_d[i] = orig - eps
+            minus = float(np.sum(layer.forward(x)))
+            flat_d[i] = orig
+            flat_g[i] = (plus - minus) / (2 * eps)
+        grads[param.name] = g
+    return grads
+
+
+class TestParameter:
+    def test_zero_grad(self):
+        p = nn.Parameter(np.ones((2, 2)))
+        p.grad += 3.0
+        p.zero_grad()
+        assert np.allclose(p.grad, 0.0)
+
+    def test_metadata_defaults(self):
+        p = nn.Parameter(np.ones(3), name="w")
+        assert p.trainable and p.lr_scale == 1.0 and p.size == 3
+
+
+class TestLinear:
+    def test_forward_shape(self, rng):
+        layer = nn.Linear(5, 3, rng=rng)
+        out = layer.forward(rng.normal(size=(4, 5)))
+        assert out.shape == (4, 3)
+
+    def test_rejects_bad_input(self, rng):
+        layer = nn.Linear(5, 3, rng=rng)
+        with pytest.raises(ValueError):
+            layer.forward(rng.normal(size=(4, 6)))
+
+    def test_input_gradient_matches_numeric(self, rng):
+        layer = nn.Linear(4, 3, rng=rng)
+        x = rng.normal(size=(2, 4))
+        assert np.allclose(analytic_grad_input(layer, x), numeric_grad_input(layer, x), atol=1e-6)
+
+    def test_param_gradients_match_numeric(self, rng):
+        layer = nn.Linear(4, 3, rng=rng)
+        x = rng.normal(size=(2, 4))
+        out = layer.forward(x)
+        layer.backward(np.ones_like(out))
+        numeric = numeric_grad_params(layer, x)
+        for param in layer.parameters():
+            assert np.allclose(param.grad, numeric[param.name], atol=1e-6)
+
+    def test_no_bias(self, rng):
+        layer = nn.Linear(4, 3, bias=False, rng=rng)
+        assert len(layer.parameters()) == 1
+
+    def test_state_dict_roundtrip(self, rng):
+        a = nn.Linear(4, 3, rng=rng)
+        b = nn.Linear(4, 3, rng=np.random.default_rng(99))
+        b.load_state_dict(a.state_dict())
+        x = rng.normal(size=(2, 4))
+        assert np.allclose(a.forward(x), b.forward(x))
+
+
+class TestConv2d:
+    def test_forward_shape(self, rng):
+        layer = nn.Conv2d(3, 8, kernel_size=3, stride=1, padding=1, rng=rng)
+        out = layer.forward(rng.normal(size=(2, 3, 6, 6)))
+        assert out.shape == (2, 8, 6, 6)
+
+    def test_forward_shape_stride2(self, rng):
+        layer = nn.Conv2d(3, 4, kernel_size=3, stride=2, padding=1, rng=rng)
+        out = layer.forward(rng.normal(size=(1, 3, 8, 8)))
+        assert out.shape == (1, 4, 4, 4)
+
+    def test_rejects_wrong_channels(self, rng):
+        layer = nn.Conv2d(3, 4, kernel_size=3, rng=rng)
+        with pytest.raises(ValueError):
+            layer.forward(rng.normal(size=(1, 2, 8, 8)))
+
+    def test_input_gradient_matches_numeric(self, rng):
+        layer = nn.Conv2d(2, 3, kernel_size=3, stride=1, padding=1, rng=rng)
+        x = rng.normal(size=(1, 2, 4, 4))
+        assert np.allclose(analytic_grad_input(layer, x), numeric_grad_input(layer, x), atol=1e-5)
+
+    def test_param_gradients_match_numeric(self, rng):
+        layer = nn.Conv2d(2, 2, kernel_size=3, stride=2, padding=1, rng=rng)
+        x = rng.normal(size=(2, 2, 5, 5))
+        out = layer.forward(x)
+        layer.backward(np.ones_like(out))
+        numeric = numeric_grad_params(layer, x)
+        for param in layer.parameters():
+            assert np.allclose(param.grad, numeric[param.name], atol=1e-5)
+
+    def test_matches_manual_convolution(self):
+        # 1x1 input channel, known kernel -> verify against a hand computation
+        layer = nn.Conv2d(1, 1, kernel_size=2, stride=1, padding=0, bias=False)
+        layer.weight.data = np.array([[[[1.0, 2.0], [3.0, 4.0]]]])
+        x = np.array([[[[1.0, 2.0], [3.0, 4.0]]]])
+        out = layer.forward(x)
+        assert out.shape == (1, 1, 1, 1)
+        assert out[0, 0, 0, 0] == pytest.approx(1 + 4 + 9 + 16)
+
+
+class TestActivationLayers:
+    @pytest.mark.parametrize(
+        "layer", [nn.ReLU(), nn.LeakyReLU(0.1), nn.Sigmoid(), nn.Tanh(), nn.Identity()]
+    )
+    def test_gradient_matches_numeric(self, layer, rng):
+        x = rng.normal(size=(3, 5)) + 0.05  # avoid the ReLU kink at exactly 0
+        assert np.allclose(analytic_grad_input(layer, x), numeric_grad_input(layer, x), atol=1e-5)
+
+    def test_relu_zeroes_negatives(self):
+        out = nn.ReLU().forward(np.array([[-1.0, 2.0]]))
+        assert np.allclose(out, [[0.0, 2.0]])
+
+    def test_leaky_relu_negative_slope(self):
+        out = nn.LeakyReLU(0.2).forward(np.array([[-10.0]]))
+        assert out[0, 0] == pytest.approx(-2.0)
+
+
+class TestPooling:
+    def test_maxpool_forward(self):
+        x = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+        out = nn.MaxPool2d(2).forward(x)
+        assert out.shape == (1, 1, 2, 2)
+        assert np.allclose(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_maxpool_backward_routes_to_argmax(self):
+        x = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+        layer = nn.MaxPool2d(2)
+        out = layer.forward(x)
+        dx = layer.backward(np.ones_like(out))
+        assert dx.sum() == pytest.approx(4.0)
+        assert dx[0, 0, 1, 1] == pytest.approx(1.0)
+        assert dx[0, 0, 0, 0] == pytest.approx(0.0)
+
+    def test_avgpool_forward_backward(self, rng):
+        layer = nn.AvgPool2d(2)
+        x = rng.normal(size=(2, 3, 4, 4))
+        assert np.allclose(analytic_grad_input(layer, x), numeric_grad_input(layer, x), atol=1e-6)
+
+    def test_global_avgpool(self, rng):
+        layer = nn.GlobalAvgPool2d()
+        x = rng.normal(size=(2, 3, 4, 4))
+        out = layer.forward(x)
+        assert out.shape == (2, 3)
+        assert np.allclose(out, x.mean(axis=(2, 3)))
+        assert np.allclose(analytic_grad_input(layer, x), numeric_grad_input(layer, x), atol=1e-6)
+
+
+class TestFlattenDropout:
+    def test_flatten_roundtrip(self, rng):
+        layer = nn.Flatten()
+        x = rng.normal(size=(2, 3, 4, 4))
+        out = layer.forward(x)
+        assert out.shape == (2, 48)
+        assert layer.backward(out).shape == x.shape
+
+    def test_dropout_eval_is_identity(self, rng):
+        layer = nn.Dropout(0.5, rng=rng)
+        layer.eval()
+        x = rng.normal(size=(10, 10))
+        assert np.allclose(layer.forward(x), x)
+
+    def test_dropout_train_preserves_expectation(self, rng):
+        layer = nn.Dropout(0.5, rng=rng)
+        x = np.ones((200, 200))
+        out = layer.forward(x)
+        assert out.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_dropout_invalid_p(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.0)
+
+
+class TestModuleUtilities:
+    def test_freeze_unfreeze(self, rng):
+        layer = nn.Linear(3, 2, rng=rng)
+        layer.freeze()
+        assert all(not p.trainable for p in layer.parameters())
+        layer.unfreeze()
+        assert all(p.trainable for p in layer.parameters())
+
+    def test_set_lr_scale(self, rng):
+        layer = nn.Linear(3, 2, rng=rng)
+        layer.set_lr_scale(0.25)
+        assert all(p.lr_scale == 0.25 for p in layer.parameters())
+
+    def test_num_parameters(self, rng):
+        layer = nn.Linear(3, 2, rng=rng)
+        assert layer.num_parameters() == 3 * 2 + 2
+
+    def test_load_state_dict_mismatch_raises(self, rng):
+        a = nn.Linear(3, 2, rng=rng)
+        with pytest.raises(KeyError):
+            a.load_state_dict({"bogus": np.zeros(1)})

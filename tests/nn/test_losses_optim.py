@@ -1,0 +1,197 @@
+"""Tests for losses (analytic vs numeric gradients) and the SGD optimizer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+def numeric_loss_grad(loss: nn.Loss, pred: np.ndarray, target: np.ndarray, eps=1e-6):
+    grad = np.zeros_like(pred)
+    flat_p = pred.reshape(-1)
+    flat_g = grad.reshape(-1)
+    for i in range(flat_p.size):
+        orig = flat_p[i]
+        flat_p[i] = orig + eps
+        plus = loss.forward(pred, target)
+        flat_p[i] = orig - eps
+        minus = loss.forward(pred, target)
+        flat_p[i] = orig
+        flat_g[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+class TestLossGradients:
+    def test_mse(self, rng):
+        loss = nn.MSELoss()
+        pred = rng.normal(size=(4, 3))
+        target = rng.normal(size=(4, 3))
+        loss.forward(pred, target)
+        assert np.allclose(loss.backward(), numeric_loss_grad(loss, pred, target), atol=1e-5)
+
+    def test_bce_with_logits(self, rng):
+        loss = nn.BCEWithLogitsLoss()
+        pred = rng.normal(size=(5, 2))
+        target = (rng.random(size=(5, 2)) > 0.5).astype(float)
+        loss.forward(pred, target)
+        assert np.allclose(loss.backward(), numeric_loss_grad(loss, pred, target), atol=1e-5)
+
+    def test_cross_entropy(self, rng):
+        loss = nn.CrossEntropyLoss()
+        pred = rng.normal(size=(6, 4))
+        target = rng.integers(0, 4, size=6)
+        loss.forward(pred, target)
+        # numeric gradient
+        eps = 1e-6
+        numeric = np.zeros_like(pred)
+        for i in range(pred.shape[0]):
+            for j in range(pred.shape[1]):
+                pp, pm = pred.copy(), pred.copy()
+                pp[i, j] += eps
+                pm[i, j] -= eps
+                numeric[i, j] = (loss.forward(pp, target) - loss.forward(pm, target)) / (2 * eps)
+        loss.forward(pred, target)
+        assert np.allclose(loss.backward(), numeric, atol=1e-5)
+
+    def test_smooth_l1(self, rng):
+        loss = nn.SmoothL1Loss(beta=0.5)
+        pred = rng.normal(size=(4, 4)) * 2
+        target = rng.normal(size=(4, 4)) * 2
+        loss.forward(pred, target)
+        assert np.allclose(loss.backward(), numeric_loss_grad(loss, pred, target), atol=1e-4)
+
+    def test_focal(self, rng):
+        loss = nn.FocalLoss(gamma=2.0, alpha=0.25)
+        pred = rng.normal(size=(6, 3))
+        target = (rng.random(size=(6, 3)) > 0.7).astype(float)
+        loss.forward(pred, target)
+        assert np.allclose(loss.backward(), numeric_loss_grad(loss, pred, target), atol=1e-5)
+
+    def test_focal_downweights_easy_examples(self):
+        loss_focal = nn.FocalLoss(gamma=2.0, alpha=0.5)
+        loss_bce = nn.BCEWithLogitsLoss()
+        easy_pred = np.array([[8.0]])   # confidently correct positive
+        target = np.array([[1.0]])
+        assert loss_focal.forward(easy_pred, target) < loss_bce.forward(easy_pred, target)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            nn.MSELoss().forward(np.zeros((2, 2)), np.zeros((2, 3)))
+
+    def test_cross_entropy_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            nn.CrossEntropyLoss().forward(np.zeros((2, 3, 1)), np.zeros(2, dtype=int))
+
+
+class TestSGD:
+    def test_basic_step_reduces_quadratic(self):
+        p = nn.Parameter(np.array([4.0]))
+        opt = nn.SGD([p], lr=0.1)
+        for _ in range(100):
+            opt.zero_grad()
+            p.grad += 2 * p.data  # d/dp of p^2
+            opt.step()
+        assert abs(p.data[0]) < 1e-3
+
+    def test_momentum_accelerates(self):
+        def run(momentum):
+            p = nn.Parameter(np.array([10.0]))
+            opt = nn.SGD([p], lr=0.01, momentum=momentum)
+            for _ in range(50):
+                opt.zero_grad()
+                p.grad += 2 * p.data
+                opt.step()
+            return abs(p.data[0])
+
+        assert run(0.9) < run(0.0)
+
+    def test_frozen_parameter_not_updated(self):
+        p = nn.Parameter(np.array([1.0]))
+        p.trainable = False
+        opt = nn.SGD([p], lr=0.5)
+        p.grad += 1.0
+        opt.step()
+        assert p.data[0] == pytest.approx(1.0)
+
+    def test_lr_scale_scales_update(self):
+        p_full = nn.Parameter(np.array([1.0]))
+        p_half = nn.Parameter(np.array([1.0]))
+        p_half.lr_scale = 0.5
+        opt = nn.SGD([p_full, p_half], lr=0.1)
+        p_full.grad += 1.0
+        p_half.grad += 1.0
+        opt.step()
+        assert (1.0 - p_half.data[0]) == pytest.approx(0.5 * (1.0 - p_full.data[0]))
+
+    def test_weight_decay_shrinks_weights(self):
+        p = nn.Parameter(np.array([1.0]))
+        opt = nn.SGD([p], lr=0.1, weight_decay=0.1)
+        opt.step()  # zero gradient, only decay
+        assert p.data[0] < 1.0
+
+    def test_gradient_clipping(self):
+        p = nn.Parameter(np.zeros(4))
+        opt = nn.SGD([p], lr=1.0, max_grad_norm=1.0)
+        p.grad += 100.0
+        opt.step()
+        assert np.linalg.norm(p.data) == pytest.approx(1.0, rel=1e-6)
+
+    def test_param_groups_have_independent_lr(self):
+        a = nn.Parameter(np.array([1.0]))
+        b = nn.Parameter(np.array([1.0]))
+        opt = nn.SGD([a], lr=0.1)
+        opt.add_group([b], lr=0.0)
+        a.grad += 1.0
+        b.grad += 1.0
+        opt.step()
+        assert a.data[0] < 1.0
+        assert b.data[0] == pytest.approx(1.0)
+
+    def test_set_lr(self):
+        p = nn.Parameter(np.array([1.0]))
+        opt = nn.SGD([p], lr=0.1)
+        opt.set_lr(0.0)
+        p.grad += 1.0
+        opt.step()
+        assert p.data[0] == pytest.approx(1.0)
+
+    def test_invalid_hyperparameters(self):
+        p = nn.Parameter(np.zeros(1))
+        with pytest.raises(ValueError):
+            nn.SGD([p], lr=-1.0)
+        with pytest.raises(ValueError):
+            nn.SGD([p], lr=0.1, momentum=1.5)
+
+
+class TestSequentialTraining:
+    def test_sequential_learns_xor_like_mapping(self, rng):
+        """End-to-end sanity: a small MLP fits a non-linear function."""
+        x = rng.uniform(-1, 1, size=(256, 2))
+        y = (np.sign(x[:, 0] * x[:, 1]) > 0).astype(float).reshape(-1, 1)
+
+        model = nn.Sequential([
+            ("fc1", nn.Linear(2, 16, rng=rng)),
+            ("act1", nn.ReLU()),
+            ("fc2", nn.Linear(16, 16, rng=np.random.default_rng(7))),
+            ("act2", nn.ReLU()),
+            ("out", nn.Linear(16, 1, rng=np.random.default_rng(8))),
+        ])
+        loss_fn = nn.BCEWithLogitsLoss()
+        opt = nn.SGD(model.parameters(), lr=0.5, momentum=0.9)
+
+        first_loss = None
+        for step in range(300):
+            opt.zero_grad()
+            logits = model.forward(x)
+            loss = loss_fn.forward(logits, y)
+            if first_loss is None:
+                first_loss = loss
+            model.backward(loss_fn.backward())
+            opt.step()
+
+        pred = (nn.sigmoid(model.forward(x)) > 0.5).astype(float)
+        accuracy = float((pred == y).mean())
+        assert loss < first_loss
+        assert accuracy > 0.9

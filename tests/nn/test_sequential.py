@@ -1,0 +1,121 @@
+"""Tests for the Sequential container and its latent-replay cut-point API."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+def small_model(rng) -> nn.Sequential:
+    return nn.Sequential([
+        ("fc1", nn.Linear(4, 8, rng=rng)),
+        ("act1", nn.ReLU()),
+        ("fc2", nn.Linear(8, 8, rng=np.random.default_rng(5))),
+        ("act2", nn.ReLU()),
+        ("head", nn.Linear(8, 2, rng=np.random.default_rng(6))),
+    ])
+
+
+class TestSequentialBasics:
+    def test_forward_equals_composition(self, rng):
+        model = small_model(rng)
+        x = rng.normal(size=(3, 4))
+        manual = x
+        for _, layer in model.named_layers():
+            manual = layer.forward(manual)
+        assert np.allclose(model.forward(x), manual)
+
+    def test_duplicate_name_raises(self, rng):
+        model = nn.Sequential([("a", nn.Identity())])
+        with pytest.raises(ValueError):
+            model.add("a", nn.Identity())
+
+    def test_non_module_raises(self):
+        with pytest.raises(TypeError):
+            nn.Sequential([("a", "not a module")])  # type: ignore[list-item]
+
+    def test_len_contains_getitem(self, rng):
+        model = small_model(rng)
+        assert len(model) == 5
+        assert "fc2" in model
+        assert isinstance(model["fc2"], nn.Linear)
+
+    def test_index_of_unknown_layer_raises(self, rng):
+        with pytest.raises(KeyError):
+            small_model(rng).index_of("nope")
+
+    def test_parameters_collects_all(self, rng):
+        model = small_model(rng)
+        assert len(model.parameters()) == 6  # three Linear layers x (W, b)
+
+    def test_train_eval_propagates(self, rng):
+        model = nn.Sequential([("drop", nn.Dropout(0.5))])
+        model.eval()
+        assert not model["drop"].training
+        model.train()
+        assert model["drop"].training
+
+    def test_layers_before_and_from(self, rng):
+        model = small_model(rng)
+        assert model.layers_before("fc2") == ["fc1", "act1"]
+        assert model.layers_from("fc2") == ["fc2", "act2", "head"]
+
+
+class TestCutPointExecution:
+    def test_forward_until_plus_from_equals_full(self, rng):
+        model = small_model(rng)
+        x = rng.normal(size=(3, 4))
+        full = model.forward(x)
+        latent = model.forward_until(x, "fc2")
+        spliced = model.forward_from(latent, "fc2")
+        assert np.allclose(full, spliced)
+
+    def test_backward_from_end_stops_at_cut(self, rng):
+        model = small_model(rng)
+        x = rng.normal(size=(3, 4))
+        model.forward_until(x, "fc2")
+        latent = model.forward_until(x, "fc2")
+        out = model.forward_from(latent, "fc2")
+        model.zero_grad()
+        model.backward_from_end(np.ones_like(out), "fc2")
+        # front layers got no gradient, rear layers did
+        assert np.allclose(model["fc1"].weight.grad, 0.0)
+        assert not np.allclose(model["fc2"].weight.grad, 0.0)
+
+    def test_backward_front_continues(self, rng):
+        model = small_model(rng)
+        x = rng.normal(size=(3, 4))
+        latent = model.forward_until(x, "fc2")
+        out = model.forward_from(latent, "fc2")
+        model.zero_grad()
+        grad_at_cut = model.backward_from_end(np.ones_like(out), "fc2")
+        model.backward_front(grad_at_cut, "fc2")
+        assert not np.allclose(model["fc1"].weight.grad, 0.0)
+
+    def test_split_backward_matches_full_backward(self, rng):
+        model_a = small_model(rng)
+        model_b = small_model(rng)
+        model_b.load_state_dict(model_a.state_dict())
+        x = rng.normal(size=(3, 4))
+
+        out_a = model_a.forward(x)
+        model_a.zero_grad()
+        model_a.backward(np.ones_like(out_a))
+
+        latent = model_b.forward_until(x, "fc2")
+        out_b = model_b.forward_from(latent, "fc2")
+        model_b.zero_grad()
+        grad_cut = model_b.backward_from_end(np.ones_like(out_b), "fc2")
+        model_b.backward_front(grad_cut, "fc2")
+
+        for pa, pb in zip(model_a.parameters(), model_b.parameters()):
+            assert np.allclose(pa.grad, pb.grad, atol=1e-10)
+
+    def test_state_dict_roundtrip(self, rng):
+        model_a = small_model(rng)
+        model_b = small_model(np.random.default_rng(99))
+        model_b.load_state_dict(model_a.state_dict())
+        x = rng.normal(size=(2, 4))
+        assert np.allclose(model_a.forward(x), model_b.forward(x))
