@@ -37,7 +37,20 @@ from repro.core.sampling import (
 )
 from repro.core.edge import EdgeDevice
 from repro.core.cloud import CloudServer
-from repro.core.session import CollaborativeSession, SessionOptions, SessionResult
+from repro.core.session import (
+    CollaborativeSession,
+    SessionOptions,
+    SessionResult,
+    resolve_session_config,
+)
+from repro.core.actors import (
+    CloudActor,
+    EdgeActor,
+    InstantTransport,
+    SessionKernel,
+    SharedLinkTransport,
+)
+from repro.core.fleet import CameraSpec, FleetCameraResult, FleetResult, FleetSession
 from repro.core.strategies import (
     Strategy,
     EdgeOnlyStrategy,
@@ -70,6 +83,16 @@ __all__ = [
     "CollaborativeSession",
     "SessionOptions",
     "SessionResult",
+    "resolve_session_config",
+    "EdgeActor",
+    "CloudActor",
+    "InstantTransport",
+    "SharedLinkTransport",
+    "SessionKernel",
+    "CameraSpec",
+    "FleetSession",
+    "FleetCameraResult",
+    "FleetResult",
     "Strategy",
     "EdgeOnlyStrategy",
     "CloudOnlyStrategy",

@@ -1,0 +1,776 @@
+"""Actor decomposition of the collaborative session (event handlers).
+
+The monolithic ``CollaborativeSession.run()`` loop is decomposed into
+two actors driven by the :class:`~repro.runtime.events.EventScheduler`:
+
+* :class:`EdgeActor` — wraps one :class:`~repro.core.edge.EdgeDevice`
+  plus everything that was per-stream state in the old loop (encoder,
+  bandwidth accountant, evaluation records, sampling-rate history) and
+  handles :class:`FrameArrival`, :class:`LabelsReady`,
+  :class:`TrainingDone` and :class:`ModelDownloadComplete` events;
+* :class:`CloudActor` — wraps one (possibly shared)
+  :class:`~repro.core.cloud.CloudServer`, owns the typed per-tenant
+  pools of labeled frames awaiting cloud-side training (AMS), the FIFO
+  labeling queue used by fleet sessions, and per-tenant GPU-seconds
+  accounting; it handles :class:`UploadComplete` and
+  :class:`LabelingDone` events.
+
+How messages travel between them is a :class:`Transport` policy:
+
+* :class:`InstantTransport` reproduces the original monolithic-loop
+  semantics exactly — uploads and labels arrive in the same simulated
+  instant they are sent (only *accounted*, never delayed) and model
+  downloads use the closed-form point-to-point time.  This is what the
+  single-camera :class:`~repro.core.session.CollaborativeSession`
+  facade uses, which is why the refactor is behaviour-preserving.
+* :class:`SharedLinkTransport` pushes every message through a
+  processor-sharing :class:`~repro.network.link.SharedLink`, so
+  transfer times stretch as more cameras contend for the same pipe.
+  It re-projects and reschedules its pending completion event whenever
+  the set of concurrent transfers changes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.core.adaptive_training import AdaptiveTrainer
+from repro.core.cloud import CloudServer, CloudTrainingResult, LabelingResponse
+from repro.core.config import ShoggothConfig
+from repro.core.edge import EdgeDevice
+from repro.core.labeling import LabeledFrame
+from repro.core.sampling import SamplingRateController
+from repro.core.session import SessionOptions, SessionResult
+from repro.detection.boxes import Detection
+from repro.detection.teacher import TeacherDetector
+from repro.network.accounting import BandwidthAccountant
+from repro.network.link import LinkConfig, NetworkLink, SharedLink
+from repro.network.messages import (
+    FrameBatchUpload,
+    LabelDownload,
+    ModelDownload,
+    ResultDownload,
+)
+from repro.runtime.device import EdgeComputeModel
+from repro.runtime.events import (
+    Event,
+    EventScheduler,
+    FrameArrival,
+    LabelingDone,
+    LabelsReady,
+    ModelDownloadComplete,
+    TrainingDone,
+    UploadComplete,
+)
+from repro.video.datasets import DatasetSpec
+from repro.video.encoding import H264Encoder
+from repro.video.scene import GroundTruthBox
+from repro.video.stream import Frame
+
+import numpy as np
+
+__all__ = [
+    "EdgeActor",
+    "CloudActor",
+    "LabelingJob",
+    "InstantTransport",
+    "SharedLinkTransport",
+    "SessionKernel",
+]
+
+
+# ---------------------------------------------------------------------------
+# transports
+# ---------------------------------------------------------------------------
+class InstantTransport:
+    """Zero-latency transport: the monolithic loop's synchronous semantics.
+
+    Uploads and label responses are delivered at the instant they are
+    sent (bandwidth is accounted, time is not charged); AMS model
+    downloads use the point-to-point :meth:`NetworkLink.downlink_seconds`
+    exactly as the original loop did.
+    """
+
+    def __init__(self, link: NetworkLink) -> None:
+        self.link = link
+        # at most one model download in flight per camera: a newer one
+        # replaces an undelivered predecessor (the monolithic loop kept a
+        # single pending_model_update and overwrote it)
+        self._pending_model: dict[int, Event] = {}
+
+    def send_upload(
+        self,
+        scheduler: EventScheduler,
+        actor: "EdgeActor",
+        upload: FrameBatchUpload,
+        batch: list[Frame],
+        alpha: float,
+        lambda_usage: float,
+        now: float,
+    ) -> None:
+        actor.accountant.record_uplink(upload, now)
+        scheduler.schedule(
+            UploadComplete(
+                time=now,
+                camera_id=actor.camera_id,
+                batch=batch,
+                alpha=alpha,
+                lambda_usage=lambda_usage,
+                sent_at=now,
+            )
+        )
+
+    def send_labels(
+        self,
+        scheduler: EventScheduler,
+        actor: "EdgeActor",
+        response: LabelingResponse,
+        now: float,
+    ) -> None:
+        scheduler.schedule(
+            LabelsReady(time=now, camera_id=actor.camera_id, response=response)
+        )
+
+    def send_model(
+        self,
+        scheduler: EventScheduler,
+        actor: "EdgeActor",
+        update: ModelDownload,
+        model_state: dict,
+        now: float,
+    ) -> None:
+        actor.accountant.record_downlink(update, now)
+        arrival = now + self.link.downlink_seconds(update)
+        previous = self._pending_model.get(actor.camera_id)
+        if previous is not None and not previous.cancelled:
+            scheduler.cancel(previous)
+        self._pending_model[actor.camera_id] = scheduler.schedule(
+            ModelDownloadComplete(
+                time=arrival, camera_id=actor.camera_id, model_state=model_state
+            )
+        )
+
+    # delivery hooks: nothing in flight to retire for the instant transport
+    def uplink_delivered(self, scheduler: EventScheduler, now: float) -> None:
+        pass
+
+    def downlink_delivered(self, scheduler: EventScheduler, now: float) -> None:
+        pass
+
+
+class SharedLinkTransport:
+    """Transport over a processor-sharing :class:`SharedLink`.
+
+    Keeps at most one pending completion event per direction; whenever a
+    transfer starts or finishes, the previously projected completion
+    time is stale, so the pending event is cancelled and re-projected
+    from the link's current load.
+    """
+
+    def __init__(self, link: SharedLink) -> None:
+        self.link = link
+        self._pending_up: tuple[Event, object] | None = None
+        self._pending_down: tuple[Event, object] | None = None
+
+    # -- sending -----------------------------------------------------------
+    def send_upload(
+        self,
+        scheduler: EventScheduler,
+        actor: "EdgeActor",
+        upload: FrameBatchUpload,
+        batch: list[Frame],
+        alpha: float,
+        lambda_usage: float,
+        now: float,
+    ) -> None:
+        actor.accountant.record_uplink(upload, now)
+        self.link.begin_uplink(
+            upload,
+            now,
+            camera_id=actor.camera_id,
+            payload=("upload", actor, batch, alpha, lambda_usage),
+        )
+        self._sync_uplink(scheduler, now)
+
+    def send_labels(
+        self,
+        scheduler: EventScheduler,
+        actor: "EdgeActor",
+        response: LabelingResponse,
+        now: float,
+    ) -> None:
+        message = LabelDownload(
+            num_frames=len(response.labeled_frames), num_boxes=response.num_boxes
+        )
+        self.link.begin_downlink(
+            message, now, camera_id=actor.camera_id, payload=("labels", actor, response)
+        )
+        self._sync_downlink(scheduler, now)
+
+    def send_model(
+        self,
+        scheduler: EventScheduler,
+        actor: "EdgeActor",
+        update: ModelDownload,
+        model_state: dict,
+        now: float,
+    ) -> None:
+        actor.accountant.record_downlink(update, now)
+        self.link.begin_downlink(
+            update, now, camera_id=actor.camera_id, payload=("model", actor, model_state)
+        )
+        self._sync_downlink(scheduler, now)
+
+    # -- delivery ------------------------------------------------------------
+    def uplink_delivered(self, scheduler: EventScheduler, now: float) -> None:
+        if self._pending_up is not None:
+            _, transfer = self._pending_up
+            self._pending_up = None
+            self.link.retire(transfer, now)
+        self._sync_uplink(scheduler, now)
+
+    def downlink_delivered(self, scheduler: EventScheduler, now: float) -> None:
+        if self._pending_down is not None:
+            _, transfer = self._pending_down
+            self._pending_down = None
+            self.link.retire(transfer, now)
+        self._sync_downlink(scheduler, now)
+
+    # -- completion projection ---------------------------------------------
+    def _sync_uplink(self, scheduler: EventScheduler, now: float) -> None:
+        if self._pending_up is not None:
+            scheduler.cancel(self._pending_up[0])
+            self._pending_up = None
+        projected = self.link.next_uplink_completion(now)
+        if projected is None:
+            return
+        transfer, completion = projected
+        _, actor, batch, alpha, lam = transfer.payload
+        event = scheduler.schedule(
+            UploadComplete(
+                time=max(completion, now),
+                camera_id=transfer.camera_id,
+                batch=batch,
+                alpha=alpha,
+                lambda_usage=lam,
+                sent_at=transfer.start_time,
+            )
+        )
+        self._pending_up = (event, transfer)
+
+    def _sync_downlink(self, scheduler: EventScheduler, now: float) -> None:
+        if self._pending_down is not None:
+            scheduler.cancel(self._pending_down[0])
+            self._pending_down = None
+        projected = self.link.next_downlink_completion(now)
+        if projected is None:
+            return
+        transfer, completion = projected
+        kind, actor, data = transfer.payload
+        when = max(completion, now)
+        if kind == "labels":
+            event = scheduler.schedule(
+                LabelsReady(time=when, camera_id=transfer.camera_id, response=data)
+            )
+        else:  # "model"
+            event = scheduler.schedule(
+                ModelDownloadComplete(
+                    time=when, camera_id=transfer.camera_id, model_state=data
+                )
+            )
+        self._pending_down = (event, transfer)
+
+
+# ---------------------------------------------------------------------------
+# cloud actor
+# ---------------------------------------------------------------------------
+@dataclass
+class LabelingJob:
+    """One upload waiting in (or being served by) the cloud's FIFO queue."""
+
+    actor: "EdgeActor"
+    batch: list[Frame]
+    alpha: float
+    lambda_usage: float
+    arrival: float
+    service_start: float | None = None
+
+    @property
+    def wait_seconds(self) -> float:
+        if self.service_start is None:
+            return 0.0
+        return self.service_start - self.arrival
+
+
+@dataclass
+class _Tenant:
+    """Per-camera state the shared cloud keeps."""
+
+    actor: "EdgeActor"
+    schedule: object | None = None
+    controller: SamplingRateController | None = None
+    #: typed pool of labeled frames awaiting cloud-side training (AMS)
+    pool: list[LabeledFrame] = field(default_factory=list)
+    #: cloud-resident student copy + trainer (fleet AMS); None when the
+    #: tenant trains at the edge or uses the server's built-in trainer
+    trainer: AdaptiveTrainer | None = None
+    student: object | None = None
+    use_server_trainer: bool = False
+
+
+class CloudActor:
+    """Event-handling wrapper around one (shared) :class:`CloudServer`.
+
+    In instant mode (single-camera facade) every upload is labeled the
+    moment it arrives, reproducing the monolithic loop.  In queued mode
+    (fleet) uploads join a FIFO queue and the teacher serves *all*
+    queued jobs as one merged batch per GPU busy period (batched
+    teacher inference), so labeling latency grows with fleet size.
+    """
+
+    def __init__(
+        self,
+        cloud: CloudServer,
+        transport: InstantTransport | SharedLinkTransport,
+        queued: bool = False,
+        batch_overhead_seconds: float = 0.02,
+    ) -> None:
+        self.cloud = cloud
+        self.transport = transport
+        self.queued = queued
+        self.batch_overhead_seconds = batch_overhead_seconds
+        self.tenants: dict[int, _Tenant] = {}
+        self.gpu_seconds_by_camera: dict[int, float] = {}
+        self.queue: deque[LabelingJob] = deque()
+        self.completed_jobs: list[LabelingJob] = []
+        self.busy_until = 0.0
+        self.busy_seconds = 0.0
+
+    # -- registration --------------------------------------------------------
+    def register_camera(
+        self,
+        actor: "EdgeActor",
+        schedule: object | None = None,
+        controller: SamplingRateController | None = None,
+        use_server_trainer: bool = False,
+        seed: int = 0,
+        replay_seed: tuple | None = None,
+    ) -> None:
+        """Attach one camera; fleet tenants get their own schedule/controller.
+
+        Tenants whose options train in the cloud (AMS) and do not use the
+        server's built-in trainer get a cloud-resident copy of their
+        student and a dedicated trainer, mirroring
+        :meth:`CloudServer.attach_cloud_student` per tenant.
+        """
+        tenant = _Tenant(
+            actor=actor,
+            schedule=schedule,
+            controller=controller,
+            use_server_trainer=use_server_trainer,
+        )
+        options = actor.options
+        if options.adapt and options.train_location == "cloud" and not use_server_trainer:
+            tenant.student = actor.edge.student.clone()
+            tenant.trainer = AdaptiveTrainer(
+                tenant.student, actor.config.training, seed=seed
+            )
+            if replay_seed is not None:
+                tenant.trainer.seed_replay(*replay_seed)
+        self.tenants[actor.camera_id] = tenant
+        self.gpu_seconds_by_camera.setdefault(actor.camera_id, 0.0)
+
+    # -- accounting ----------------------------------------------------------
+    def note_gpu(self, camera_id: int, seconds: float) -> None:
+        """Attribute GPU time to both the shared server and one tenant."""
+        self.cloud.total_gpu_seconds += seconds
+        self.gpu_seconds_by_camera[camera_id] = (
+            self.gpu_seconds_by_camera.get(camera_id, 0.0) + seconds
+        )
+
+    @property
+    def queue_waits(self) -> list[float]:
+        """Per-job labeling-queue delays (seconds), in completion order."""
+        return [job.wait_seconds for job in self.completed_jobs]
+
+    # -- event handlers -----------------------------------------------------
+    def on_upload(self, event: UploadComplete, scheduler: EventScheduler) -> None:
+        self.tenants[event.camera_id].actor.upload_latencies.append(
+            event.time - event.sent_at
+        )
+        if not self.queued:
+            response = self._label(event.camera_id, event.batch, event.alpha,
+                                   event.lambda_usage)
+            actor = self.tenants[event.camera_id].actor
+            self.transport.send_labels(scheduler, actor, response, event.time)
+            return
+        job = LabelingJob(
+            actor=self.tenants[event.camera_id].actor,
+            batch=event.batch,
+            alpha=event.alpha,
+            lambda_usage=event.lambda_usage,
+            arrival=event.time,
+        )
+        self.queue.append(job)
+        self._maybe_start_service(event.time, scheduler)
+
+    def on_labeling_done(self, event: LabelingDone, scheduler: EventScheduler) -> None:
+        for job in event.jobs:
+            response = self._label(
+                job.actor.camera_id, job.batch, job.alpha, job.lambda_usage
+            )
+            self.completed_jobs.append(job)
+            self.transport.send_labels(scheduler, job.actor, response, event.time)
+        self._maybe_start_service(event.time, scheduler)
+
+    def on_labels_for_training(
+        self,
+        actor: "EdgeActor",
+        labeled: list[LabeledFrame],
+        now: float,
+        scheduler: EventScheduler,
+    ) -> None:
+        """AMS path: pool labels per tenant; train + stream the model back."""
+        tenant = self.tenants[actor.camera_id]
+        tenant.pool.extend(labeled)
+        if len(tenant.pool) < actor.config.training.train_batch_size:
+            return
+        pool, tenant.pool = tenant.pool, []
+        result = self._train_tenant(tenant, pool)
+        update = ModelDownload(num_parameters=actor.edge.student.num_parameters())
+        self.transport.send_model(scheduler, actor, update, result.model_state, now)
+
+    # -- internals ------------------------------------------------------------
+    def _label(
+        self, camera_id: int, batch: list[Frame], alpha: float, lambda_usage: float
+    ) -> LabelingResponse:
+        tenant = self.tenants[camera_id]
+        response = self.cloud.process_upload(
+            batch,
+            alpha=alpha,
+            lambda_usage=lambda_usage,
+            schedule=tenant.schedule,
+            controller=tenant.controller,
+        )
+        self.gpu_seconds_by_camera[camera_id] = (
+            self.gpu_seconds_by_camera.get(camera_id, 0.0) + response.gpu_seconds
+        )
+        return response
+
+    def _maybe_start_service(self, now: float, scheduler: EventScheduler) -> None:
+        """Start serving the whole queue as one merged teacher batch."""
+        if not self.queue or now + 1e-12 < self.busy_until:
+            return
+        jobs = list(self.queue)
+        self.queue.clear()
+        service = self.batch_overhead_seconds + sum(
+            self.cloud.labeler.gpu_seconds(len(job.batch)) for job in jobs
+        )
+        for job in jobs:
+            job.service_start = now
+        self.busy_until = now + service
+        self.busy_seconds += service
+        scheduler.schedule(LabelingDone(time=self.busy_until, jobs=jobs))
+
+    def _train_tenant(
+        self, tenant: _Tenant, labeled: list[LabeledFrame]
+    ) -> CloudTrainingResult:
+        camera_id = tenant.actor.camera_id
+        if tenant.use_server_trainer or tenant.trainer is None:
+            result = self.cloud.train_on_labels(labeled)
+            self.gpu_seconds_by_camera[camera_id] = (
+                self.gpu_seconds_by_camera.get(camera_id, 0.0) + result.gpu_seconds
+            )
+            return result
+        images = np.stack([item.frame.image for item in labeled])
+        targets = [item.pseudo_labels for item in labeled]
+        report = tenant.trainer.train_session(images, targets)
+        gpu_seconds = self.cloud.compute.training_seconds(report.num_steps)
+        self.note_gpu(camera_id, gpu_seconds)
+        return CloudTrainingResult(
+            report=report,
+            model_state=tenant.student.state_dict(),
+            gpu_seconds=gpu_seconds,
+        )
+
+
+# ---------------------------------------------------------------------------
+# edge actor
+# ---------------------------------------------------------------------------
+class EdgeActor:
+    """Event-handling wrapper around one :class:`EdgeDevice` and its stream.
+
+    Owns all the per-camera state the monolithic loop kept as locals:
+    the H.264 encoder (single source of truth for the stream's pixel
+    count), the bandwidth accountant, evaluation records, the
+    sampling-rate history and upload counters.
+    """
+
+    def __init__(
+        self,
+        camera_id: int,
+        edge: EdgeDevice,
+        cloud_actor: CloudActor,
+        teacher: TeacherDetector,
+        options: SessionOptions,
+        config: ShoggothConfig,
+        encoder: H264Encoder,
+        transport: InstantTransport | SharedLinkTransport,
+        dataset: DatasetSpec,
+        link_config: LinkConfig,
+        edge_compute: EdgeComputeModel,
+        accountant: BandwidthAccountant | None = None,
+    ) -> None:
+        self.camera_id = camera_id
+        self.edge = edge
+        self.cloud_actor = cloud_actor
+        self.teacher = teacher
+        self.options = options
+        self.config = config
+        self.encoder = encoder
+        self.transport = transport
+        self.dataset = dataset
+        self.link_config = link_config
+        self.edge_compute = edge_compute
+        self.accountant = accountant or BandwidthAccountant()
+
+        self.evaluated_indices: list[int] = []
+        self.detections_per_frame: list[list[Detection]] = []
+        self.ground_truth_per_frame: list[list[GroundTruthBox]] = []
+        self.domain_per_frame: list[str] = []
+        self.rate_history: list[tuple[float, float]] = []
+        self.num_uploads = 0
+        self.frames_seen = 0
+        self.motion_total = 0.0
+        self.upload_latencies: list[float] = []
+
+    # -- event handlers -----------------------------------------------------
+    def on_frame(self, frame: Frame, now: float, scheduler: EventScheduler) -> None:
+        options = self.options
+        self.frames_seen += 1
+        self.motion_total += frame.motion
+
+        # -- accuracy evaluation --------------------------------------------
+        if frame.index % self.config.eval_stride == 0:
+            if options.use_cloud_detections:
+                domain = self.dataset.schedule.domain_at(frame.index)
+                detections = self.teacher.detect(frame, domain)
+            else:
+                detections = self.edge.detect(frame)
+            self.evaluated_indices.append(frame.index)
+            self.detections_per_frame.append(detections)
+            self.ground_truth_per_frame.append(list(frame.ground_truth))
+            self.domain_per_frame.append(frame.domain_name)
+
+        # -- Cloud-Only: continuous upload + per-frame results ----------------
+        if options.upload_all_frames:
+            fps = self.dataset.fps
+            per_frame_bytes = self.encoder.stream_bytes_per_second(
+                fps, mean_motion=frame.motion
+            ) / fps
+            self.accountant.record_uplink(
+                FrameBatchUpload(num_frames=1, encoded_bytes=max(1, int(per_frame_bytes))),
+                now,
+            )
+            self.accountant.record_downlink(
+                ResultDownload(num_boxes=len(frame.ground_truth)), now
+            )
+            self.cloud_actor.note_gpu(self.camera_id, self.teacher.inference_seconds)
+
+        # -- adaptive online learning path -------------------------------------
+        if options.adapt and self.edge.maybe_sample(frame) and self.edge.upload_ready():
+            self.num_uploads += 1
+            batch = self.edge.take_upload_batch()
+            encoded = self.encoder.encode_buffer(
+                [f.motion for f in batch], contiguous=False
+            )
+            upload = FrameBatchUpload(
+                num_frames=len(batch),
+                encoded_bytes=encoded.total_bytes,
+                first_frame_index=batch[0].index,
+            )
+            alpha = self.edge.estimated_alpha()
+            lam = self.edge.utilization_at(now, self.dataset.fps)
+            self.transport.send_upload(scheduler, self, upload, batch, alpha, lam, now)
+
+    def on_labels(
+        self, response: LabelingResponse, now: float, scheduler: EventScheduler
+    ) -> None:
+        options = self.options
+        self.accountant.record_downlink(
+            LabelDownload(
+                num_frames=len(response.labeled_frames), num_boxes=response.num_boxes
+            ),
+            now,
+        )
+        if options.adaptive_sampling:
+            self.edge.set_sampling_rate(response.new_sampling_rate)
+        self.rate_history.append((now, self.edge.sampling_rate))
+
+        if options.train_location == "edge":
+            self.edge.receive_labels(response.labeled_frames)
+            if self.edge.training_ready():
+                window = self.edge.run_training_session(now)
+                scheduler.schedule(
+                    TrainingDone(
+                        time=window.end, camera_id=self.camera_id, window=window
+                    )
+                )
+        else:  # AMS: fine-tune in the cloud, stream the model back
+            self.cloud_actor.on_labels_for_training(
+                self, response.labeled_frames, now, scheduler
+            )
+
+    def on_training_done(self, event: TrainingDone) -> None:
+        """No state change: the window was recorded by :class:`EdgeDevice`
+        when training started; this event only marks the device release
+        on the timeline (schedulers can key off it)."""
+
+    def on_model_download(self, event: ModelDownloadComplete) -> None:
+        self.edge.apply_model_update(event.model_state)
+
+    # -- result assembly ------------------------------------------------------
+    def build_result(self, cloud_gpu_seconds: float) -> SessionResult:
+        duration = self.dataset.num_frames / self.dataset.fps
+        mean_motion = self.motion_total / max(1, self.dataset.num_frames)
+        fps_trace, util_trace = self._build_traces(duration, self.dataset.fps, mean_motion)
+        return SessionResult(
+            strategy_name=self.options.name,
+            dataset_name=self.dataset.name,
+            evaluated_frame_indices=self.evaluated_indices,
+            detections_per_frame=self.detections_per_frame,
+            ground_truth_per_frame=self.ground_truth_per_frame,
+            domain_per_frame=self.domain_per_frame,
+            bandwidth=self.accountant.summary(duration),
+            fps_trace=fps_trace,
+            utilization_trace=util_trace,
+            sampling_rate_history=self.rate_history,
+            training_reports=[w.report for w in self.edge.training_windows],
+            training_windows=list(self.edge.training_windows),
+            cloud_gpu_seconds=cloud_gpu_seconds,
+            duration_seconds=duration,
+            num_uploads=self.num_uploads,
+        )
+
+    # -- derived traces -----------------------------------------------------
+    def _build_traces(
+        self, duration: float, video_fps: float, mean_motion: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-second FPS and utilisation traces from the simulated timeline."""
+        seconds = max(1, int(np.ceil(duration)))
+        fps_trace = np.zeros(seconds)
+        util_trace = np.zeros(seconds)
+
+        if self.options.use_cloud_detections:
+            # Cloud-Only: each frame waits for upload + teacher + download
+            per_frame = (
+                self.link_config.rtt_seconds
+                + self.teacher.inference_seconds
+                + self._cloud_only_transfer_seconds(mean_motion, video_fps)
+            )
+            cloud_fps = min(video_fps, 1.0 / per_frame)
+            fps_trace[:] = cloud_fps
+            util_trace[:] = 0.05  # the edge only forwards frames
+            return fps_trace, util_trace
+
+        for second in range(seconds):
+            midpoint = second + 0.5
+            window_overlap = self._training_overlap(second)
+            busy_fps = min(video_fps, self.edge_compute.fps_while_training)
+            idle_fps = min(video_fps, self.edge_compute.max_fps)
+            fps_trace[second] = window_overlap * busy_fps + (1 - window_overlap) * idle_fps
+            util_trace[second] = self.edge.utilization_at(midpoint, video_fps)
+        return fps_trace, util_trace
+
+    def _training_overlap(self, second: int) -> float:
+        """Fraction of the interval [second, second+1) covered by training."""
+        start, end = float(second), float(second + 1)
+        overlap = 0.0
+        for window in self.edge.training_windows:
+            overlap += max(0.0, min(end, window.end) - max(start, window.start))
+        return min(1.0, overlap)
+
+    def _cloud_only_transfer_seconds(self, mean_motion: float, video_fps: float) -> float:
+        """Per-frame network time for the Cloud-Only strategy.
+
+        Reuses the stream's own encoder so there is a single source of
+        truth for the nominal pixel count.
+        """
+        frame_bytes = self.encoder.stream_bytes_per_second(video_fps, mean_motion) / video_fps
+        up = frame_bytes * 8 / (self.link_config.uplink_kbps * 1000.0)
+        down_bytes = ResultDownload(num_boxes=4).size_bytes()
+        down = down_bytes * 8 / (self.link_config.downlink_kbps * 1000.0)
+        return up + down
+
+
+# ---------------------------------------------------------------------------
+# kernel
+# ---------------------------------------------------------------------------
+class SessionKernel:
+    """Drives edge/cloud actors over an event scheduler until streams drain.
+
+    Frames are scheduled lazily — one in-flight :class:`FrameArrival`
+    per camera — so a fleet of long streams never materialises more
+    than one rendered frame per camera at a time.
+    """
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        edge_actors: dict[int, EdgeActor],
+        cloud_actor: CloudActor,
+        transport: InstantTransport | SharedLinkTransport,
+        streams: dict[int, Iterator[Frame]],
+    ) -> None:
+        self.scheduler = scheduler
+        self.edge_actors = edge_actors
+        self.cloud_actor = cloud_actor
+        self.transport = transport
+        self.streams = streams
+
+    def _schedule_next_frame(self, camera_id: int) -> None:
+        frame = next(self.streams[camera_id], None)
+        if frame is not None:
+            self.scheduler.schedule(
+                FrameArrival(time=frame.timestamp, camera_id=camera_id, frame=frame)
+            )
+
+    def run(self, horizon: float | None = None) -> None:
+        """Dispatch until drained; events strictly after ``horizon`` are dropped.
+
+        The single-camera facade passes the last frame's timestamp as the
+        horizon so that e.g. a model download still in flight when the
+        stream ends is discarded — exactly what the monolithic loop did.
+        """
+        for camera_id in self.edge_actors:
+            self._schedule_next_frame(camera_id)
+        while True:
+            event = self.scheduler.pop()
+            if event is None:
+                return
+            if horizon is not None and event.time > horizon + 1e-9:
+                return  # heap is time-ordered: everything left is later still
+            self.dispatch(event)
+
+    def dispatch(self, event: Event) -> None:
+        scheduler = self.scheduler
+        if isinstance(event, FrameArrival):
+            self.edge_actors[event.camera_id].on_frame(event.frame, event.time, scheduler)
+            self._schedule_next_frame(event.camera_id)
+        elif isinstance(event, UploadComplete):
+            self.transport.uplink_delivered(scheduler, event.time)
+            self.cloud_actor.on_upload(event, scheduler)
+        elif isinstance(event, LabelingDone):
+            self.cloud_actor.on_labeling_done(event, scheduler)
+        elif isinstance(event, LabelsReady):
+            self.transport.downlink_delivered(scheduler, event.time)
+            self.edge_actors[event.camera_id].on_labels(event.response, event.time, scheduler)
+        elif isinstance(event, ModelDownloadComplete):
+            self.transport.downlink_delivered(scheduler, event.time)
+            self.edge_actors[event.camera_id].on_model_download(event)
+        elif isinstance(event, TrainingDone):
+            self.edge_actors[event.camera_id].on_training_done(event)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unroutable event: {event!r}")

@@ -78,15 +78,29 @@ class CloudServer:
 
     # -- labeling + rate control -------------------------------------------
     def process_upload(
-        self, frames: list[Frame], alpha: float, lambda_usage: float
+        self,
+        frames: list[Frame],
+        alpha: float,
+        lambda_usage: float,
+        schedule: DriftSchedule | None = None,
+        controller: SamplingRateController | None = None,
     ) -> LabelingResponse:
-        """Label an uploaded batch and adapt the device's sampling rate."""
+        """Label an uploaded batch and adapt the device's sampling rate.
+
+        ``schedule`` and ``controller`` default to the server's own (the
+        single-camera case); fleet sessions pass the uploading camera's
+        drift schedule and its per-tenant rate controller so one shared
+        server can serve heterogeneous streams without coupling their
+        sampling-rate state.
+        """
         if not frames:
             raise ValueError("uploaded batch is empty")
-        domains = [self.schedule.domain_at(frame.index) for frame in frames]
+        schedule = schedule or self.schedule
+        controller = controller or self.controller
+        domains = [schedule.domain_at(frame.index) for frame in frames]
         labeled = self.labeler.label_batch(frames, domains)
         phi = compute_phi([list(item.detections) for item in labeled])
-        new_rate = self.controller.update(phi=phi, alpha=alpha, lambda_current=lambda_usage)
+        new_rate = controller.update(phi=phi, alpha=alpha, lambda_current=lambda_usage)
 
         gpu_seconds = self.labeler.gpu_seconds(len(frames))
         self.total_gpu_seconds += gpu_seconds

@@ -1,0 +1,279 @@
+"""Multi-camera fleet sessions: N streams sharing one cloud and one link.
+
+This is where the event kernel pays off.  A :class:`FleetSession` runs N
+heterogeneous camera streams — each with its own dataset, strategy and
+student copy — against a *single* :class:`~repro.core.cloud.CloudServer`
+and a *single* processor-sharing
+:class:`~repro.network.link.SharedLink`:
+
+* uploads from different cameras contend for the shared uplink, so
+  transfer times stretch with fleet size;
+* labeling requests join a FIFO queue on the cloud GPU and are served
+  as merged multi-tenant teacher batches (batched teacher inference),
+  so labeling latency grows with load;
+* GPU time is accounted per tenant, which is what capacity planning
+  (how many cameras can one V100 serve?) needs.
+
+Every camera still produces a full per-camera
+:class:`~repro.core.session.SessionResult`, plus fleet-level aggregates
+(queue delays, per-tenant GPU seconds, cloud busy time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.actors import CloudActor, EdgeActor, SessionKernel, SharedLinkTransport
+from repro.core.adaptive_training import AdaptiveTrainer
+from repro.core.cloud import CloudServer
+from repro.core.config import ShoggothConfig
+from repro.core.edge import EdgeDevice
+from repro.core.sampling import SamplingRateController
+from repro.core.session import SessionOptions, SessionResult, resolve_session_config
+from repro.core.strategies import build_strategy
+from repro.detection.student import StudentDetector
+from repro.detection.teacher import TeacherDetector
+from repro.network.link import LinkConfig, SharedLink
+from repro.runtime.device import CloudComputeModel, EdgeComputeModel
+from repro.runtime.events import EventScheduler
+from repro.video.datasets import DatasetSpec
+from repro.video.encoding import H264Encoder
+from repro.video.stream import VideoStream
+
+__all__ = ["CameraSpec", "FleetCameraResult", "FleetResult", "FleetSession"]
+
+
+@dataclass(frozen=True)
+class CameraSpec:
+    """One camera of the fleet: its stream, strategy and seeds."""
+
+    name: str
+    dataset: DatasetSpec
+    #: a registered strategy name ("shoggoth", "ams", ...) or explicit options
+    strategy: str | SessionOptions = "shoggoth"
+    config: ShoggothConfig | None = None
+    seed: int = 0
+
+    def resolve_options(self) -> SessionOptions:
+        if isinstance(self.strategy, SessionOptions):
+            return self.strategy
+        return build_strategy(self.strategy).options
+
+
+@dataclass(frozen=True)
+class FleetCameraResult:
+    """One camera's outcome inside a fleet run."""
+
+    camera: str
+    session: SessionResult
+    gpu_seconds: float
+    upload_latencies: list[float] = field(default_factory=list)
+
+    @property
+    def mean_upload_latency(self) -> float:
+        if not self.upload_latencies:
+            return 0.0
+        return float(np.mean(self.upload_latencies))
+
+
+@dataclass(frozen=True)
+class FleetResult:
+    """Everything a fleet run produces."""
+
+    cameras: list[FleetCameraResult]
+    queue_waits: list[float]
+    cloud_gpu_seconds: float
+    cloud_busy_seconds: float
+    duration_seconds: float
+    num_labeling_batches: int
+    gpu_seconds_by_camera: dict[str, float]
+
+    @property
+    def num_cameras(self) -> int:
+        return len(self.cameras)
+
+    @property
+    def mean_queue_delay(self) -> float:
+        if not self.queue_waits:
+            return 0.0
+        return float(np.mean(self.queue_waits))
+
+    @property
+    def max_queue_delay(self) -> float:
+        if not self.queue_waits:
+            return 0.0
+        return float(np.max(self.queue_waits))
+
+    @property
+    def cloud_utilization(self) -> float:
+        """Fraction of the run the shared GPU spent serving the fleet."""
+        if self.duration_seconds <= 0:
+            return 0.0
+        return min(1.0, self.cloud_busy_seconds / self.duration_seconds)
+
+    def session(self, camera: str) -> SessionResult:
+        for entry in self.cameras:
+            if entry.camera == camera:
+                return entry.session
+        raise KeyError(f"no camera named {camera!r}")
+
+
+class FleetSession:
+    """N cameras, one cloud server, one shared network link.
+
+    Each camera starts from a fresh clone of the pre-trained student and
+    resolves its own strategy/config exactly as a standalone
+    :class:`CollaborativeSession` would; only the *resources* (teacher
+    GPU, uplink/downlink) are shared.
+    """
+
+    def __init__(
+        self,
+        cameras: list[CameraSpec],
+        student: StudentDetector,
+        teacher: TeacherDetector,
+        config: ShoggothConfig | None = None,
+        link: SharedLink | None = None,
+        link_config: LinkConfig | None = None,
+        edge_compute: EdgeComputeModel | None = None,
+        cloud_compute: CloudComputeModel | None = None,
+        replay_seed: tuple | None = None,
+        batch_overhead_seconds: float = 0.02,
+    ) -> None:
+        if not cameras:
+            raise ValueError("a fleet needs at least one camera")
+        names = [spec.name for spec in cameras]
+        if len(set(names)) != len(names):
+            raise ValueError("camera names must be unique")
+        self.cameras = list(cameras)
+        self.student = student
+        self.teacher = teacher
+        self.config = config or ShoggothConfig()
+        self.link = link or SharedLink(link_config)
+        self.edge_compute = edge_compute or EdgeComputeModel()
+        self.cloud_compute = cloud_compute or CloudComputeModel()
+        self.replay_seed = replay_seed
+        self.batch_overhead_seconds = batch_overhead_seconds
+
+        self.cloud = CloudServer(
+            teacher,
+            schedule=self.cameras[0].dataset.schedule,
+            config=self.config,
+            compute=self.cloud_compute,
+        )
+        self._ran = False
+
+    # -- wiring ------------------------------------------------------------
+    def _build_camera(
+        self,
+        camera_id: int,
+        spec: CameraSpec,
+        cloud_actor: CloudActor,
+        transport: SharedLinkTransport,
+    ) -> tuple[EdgeActor, "VideoStream"]:
+        options = spec.resolve_options()
+        cfg = resolve_session_config(spec.config or self.config, options)
+        student = self.student.clone()
+
+        trainer = None
+        if options.adapt and options.train_location == "edge":
+            trainer = AdaptiveTrainer(student, cfg.training, seed=spec.seed)
+            if self.replay_seed is not None:
+                trainer.seed_replay(*self.replay_seed)
+        edge = EdgeDevice(
+            student,
+            config=cfg,
+            compute=self.edge_compute,
+            trainer=trainer,
+            seed=spec.seed,
+        )
+        stream = spec.dataset.build()
+        actor = EdgeActor(
+            camera_id=camera_id,
+            edge=edge,
+            cloud_actor=cloud_actor,
+            teacher=self.teacher,
+            options=options,
+            config=cfg,
+            encoder=H264Encoder(stream.renderer.nominal_pixels),
+            transport=transport,
+            dataset=spec.dataset,
+            link_config=self.link.config,
+            edge_compute=self.edge_compute,
+        )
+        cloud_actor.register_camera(
+            actor,
+            schedule=spec.dataset.schedule,
+            controller=SamplingRateController(cfg.sampling),
+            seed=spec.seed,
+            replay_seed=self.replay_seed,
+        )
+        return actor, stream
+
+    # -- execution ------------------------------------------------------------
+    def run(self) -> FleetResult:
+        """Simulate every stream against the shared cloud and link."""
+        if self._ran:
+            raise RuntimeError(
+                "FleetSession can only be run once (the shared link and cloud "
+                "accumulate state); construct a new session"
+            )
+        self._ran = True
+        scheduler = EventScheduler()
+        transport = SharedLinkTransport(self.link)
+        cloud_actor = CloudActor(
+            self.cloud,
+            transport,
+            queued=True,
+            batch_overhead_seconds=self.batch_overhead_seconds,
+        )
+        edge_actors: dict[int, EdgeActor] = {}
+        streams = {}
+        for camera_id, spec in enumerate(self.cameras):
+            actor, stream = self._build_camera(camera_id, spec, cloud_actor, transport)
+            edge_actors[camera_id] = actor
+            streams[camera_id] = iter(stream)
+
+        kernel = SessionKernel(
+            scheduler,
+            edge_actors=edge_actors,
+            cloud_actor=cloud_actor,
+            transport=transport,
+            streams=streams,
+        )
+        kernel.run()
+
+        duration = max(
+            spec.dataset.num_frames / spec.dataset.fps for spec in self.cameras
+        )
+        camera_results = []
+        gpu_by_name: dict[str, float] = {}
+        for camera_id, spec in enumerate(self.cameras):
+            actor = edge_actors[camera_id]
+            gpu = cloud_actor.gpu_seconds_by_camera.get(camera_id, 0.0)
+            gpu_by_name[spec.name] = gpu
+            camera_results.append(
+                FleetCameraResult(
+                    camera=spec.name,
+                    session=actor.build_result(cloud_gpu_seconds=gpu),
+                    gpu_seconds=gpu,
+                    upload_latencies=list(actor.upload_latencies),
+                )
+            )
+        return FleetResult(
+            cameras=camera_results,
+            queue_waits=cloud_actor.queue_waits,
+            cloud_gpu_seconds=self.cloud.total_gpu_seconds,
+            cloud_busy_seconds=cloud_actor.busy_seconds,
+            duration_seconds=duration,
+            num_labeling_batches=self._merged_batches(cloud_actor),
+            gpu_seconds_by_camera=gpu_by_name,
+        )
+
+    @staticmethod
+    def _merged_batches(cloud_actor: CloudActor) -> int:
+        """Number of GPU busy periods (merged multi-tenant batches)."""
+        starts = {job.service_start for job in cloud_actor.completed_jobs}
+        return len(starts)

@@ -1,17 +1,25 @@
 """End-to-end collaborative session: one edge device, one cloud, one stream.
 
-The session engine drives a synthetic video stream through the full
-architecture in simulated time: real-time inference on the edge, adaptive
-frame sampling, H.264-compressed uploads, online labeling and rate control in
-the cloud, adaptive training (on the edge for Shoggoth/Prompt, in the cloud
-for AMS), and bandwidth/compute accounting.  All of the paper's comparison
-strategies are expressed as option sets over this single engine
+The session drives a synthetic video stream through the full architecture in
+simulated time: real-time inference on the edge, adaptive frame sampling,
+H.264-compressed uploads, online labeling and rate control in the cloud,
+adaptive training (on the edge for Shoggoth/Prompt, in the cloud for AMS),
+and bandwidth/compute accounting.  All of the paper's comparison strategies
+are expressed as option sets over this single engine
 (:mod:`repro.core.strategies`).
+
+:class:`CollaborativeSession` is a thin single-camera facade over the
+event-driven kernel (:mod:`repro.runtime.events`,
+:mod:`repro.core.actors`): it wires one :class:`EdgeActor` and one
+:class:`CloudActor` together with a zero-latency transport, which
+reproduces the original monolithic loop's results exactly.  Multi-camera
+sessions sharing one cloud and one uplink live in
+:mod:`repro.core.fleet`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -24,18 +32,18 @@ from repro.detection.student import StudentDetector
 from repro.detection.teacher import TeacherDetector
 from repro.network.accounting import BandwidthAccountant, BandwidthSummary
 from repro.network.link import NetworkLink
-from repro.network.messages import (
-    FrameBatchUpload,
-    LabelDownload,
-    ModelDownload,
-    ResultDownload,
-)
 from repro.runtime.device import CloudComputeModel, EdgeComputeModel
+from repro.runtime.events import EventScheduler
 from repro.video.datasets import DatasetSpec
 from repro.video.encoding import H264Encoder
 from repro.video.scene import GroundTruthBox
 
-__all__ = ["SessionOptions", "SessionResult", "CollaborativeSession"]
+__all__ = [
+    "SessionOptions",
+    "SessionResult",
+    "CollaborativeSession",
+    "resolve_session_config",
+]
 
 
 @dataclass(frozen=True)
@@ -93,8 +101,38 @@ class SessionResult:
         return sum(window.duration for window in self.training_windows)
 
 
+def resolve_session_config(
+    config: ShoggothConfig | None, options: SessionOptions
+) -> ShoggothConfig:
+    """Fold the strategy's sampling switches into the config.
+
+    Shared by the single-camera session and the fleet, so each camera of
+    a heterogeneous fleet resolves its own strategy exactly the way a
+    standalone session would.
+    """
+    cfg = config or ShoggothConfig()
+    if not options.adaptive_sampling and options.fixed_rate_fps is not None:
+        rate = options.fixed_rate_fps
+        cfg = cfg.with_sampling(
+            adaptive=False,
+            initial_rate_fps=rate,
+            min_rate_fps=min(cfg.sampling.min_rate_fps, rate),
+            max_rate_fps=max(cfg.sampling.max_rate_fps, rate),
+        )
+    elif not options.adaptive_sampling:
+        cfg = cfg.with_sampling(adaptive=False)
+    return cfg
+
+
 class CollaborativeSession:
-    """Simulates one strategy over one dataset stream."""
+    """Simulates one strategy over one dataset stream (single camera).
+
+    A facade over the event kernel: construction wires the same
+    :class:`EdgeDevice` / :class:`CloudServer` pair as always, and
+    :meth:`run` drives them through per-actor event handlers with an
+    instantaneous transport, which is exactly equivalent to the original
+    frame-by-frame loop.
+    """
 
     def __init__(
         self,
@@ -144,176 +182,50 @@ class CollaborativeSession:
 
     # -- configuration -----------------------------------------------------
     def _resolve_config(self, config: ShoggothConfig | None) -> ShoggothConfig:
-        cfg = config or ShoggothConfig()
-        options = self.options
-        if not options.adaptive_sampling and options.fixed_rate_fps is not None:
-            rate = options.fixed_rate_fps
-            cfg = cfg.with_sampling(
-                adaptive=False,
-                initial_rate_fps=rate,
-                min_rate_fps=min(cfg.sampling.min_rate_fps, rate),
-                max_rate_fps=max(cfg.sampling.max_rate_fps, rate),
-            )
-        elif not options.adaptive_sampling:
-            cfg = cfg.with_sampling(adaptive=False)
-        return cfg
+        return resolve_session_config(config, self.options)
 
     # -- main loop -------------------------------------------------------------
     def run(self) -> SessionResult:
-        """Simulate the full stream and return the raw session outcome."""
-        stream = self.dataset.build()
-        encoder = H264Encoder(stream.renderer.nominal_pixels)
-        options = self.options
-        eval_stride = self.config.eval_stride
+        """Simulate the full stream and return the raw session outcome.
 
-        evaluated_indices: list[int] = []
-        detections_per_frame: list[list[Detection]] = []
-        ground_truth_per_frame: list[list[GroundTruthBox]] = []
-        domain_per_frame: list[str] = []
-        rate_history: list[tuple[float, float]] = []
-        pending_model_update: tuple[float, dict[str, np.ndarray]] | None = None
-        cloud_pool: list = []  # labeled frames awaiting cloud-side training (AMS)
-        num_uploads = 0
-        stream_motion_total = 0.0
-
-        for frame in stream:
-            now = frame.timestamp
-            domain = self.dataset.schedule.domain_at(frame.index)
-            stream_motion_total += frame.motion
-
-            # AMS: apply a streamed model update once its download completes
-            if pending_model_update is not None and now >= pending_model_update[0]:
-                self.edge.apply_model_update(pending_model_update[1])
-                pending_model_update = None
-
-            # -- accuracy evaluation --------------------------------------
-            if frame.index % eval_stride == 0:
-                if options.use_cloud_detections:
-                    detections = self.teacher.detect(frame, domain)
-                else:
-                    detections = self.edge.detect(frame)
-                evaluated_indices.append(frame.index)
-                detections_per_frame.append(detections)
-                ground_truth_per_frame.append(list(frame.ground_truth))
-                domain_per_frame.append(frame.domain_name)
-
-            # -- Cloud-Only: continuous upload + per-frame results ----------
-            if options.upload_all_frames:
-                per_frame_bytes = encoder.stream_bytes_per_second(
-                    stream.fps, mean_motion=frame.motion
-                ) / stream.fps
-                self.accountant.record_uplink(
-                    FrameBatchUpload(num_frames=1, encoded_bytes=max(1, int(per_frame_bytes))),
-                    now,
-                )
-                self.accountant.record_downlink(
-                    ResultDownload(num_boxes=len(frame.ground_truth)), now
-                )
-                self.cloud.total_gpu_seconds += self.teacher.inference_seconds
-
-            # -- adaptive online learning path -------------------------------
-            if options.adapt and self.edge.maybe_sample(frame) and self.edge.upload_ready():
-                num_uploads += 1
-                batch = self.edge.take_upload_batch()
-                encoded = encoder.encode_buffer([f.motion for f in batch], contiguous=False)
-                self.accountant.record_uplink(
-                    FrameBatchUpload(
-                        num_frames=len(batch),
-                        encoded_bytes=encoded.total_bytes,
-                        first_frame_index=batch[0].index,
-                    ),
-                    now,
-                )
-
-                alpha = self.edge.estimated_alpha()
-                lam = self.edge.utilization_at(now, stream.fps)
-                response = self.cloud.process_upload(batch, alpha=alpha, lambda_usage=lam)
-                self.accountant.record_downlink(
-                    LabelDownload(num_frames=len(batch), num_boxes=response.num_boxes), now
-                )
-                if options.adaptive_sampling:
-                    self.edge.set_sampling_rate(response.new_sampling_rate)
-                rate_history.append((now, self.edge.sampling_rate))
-
-                if options.train_location == "edge":
-                    self.edge.receive_labels(response.labeled_frames)
-                    if self.edge.training_ready():
-                        self.edge.run_training_session(now)
-                else:  # AMS: fine-tune in the cloud, stream the model back
-                    cloud_pool.extend(response.labeled_frames)
-                    if len(cloud_pool) >= self.config.training.train_batch_size:
-                        result = self.cloud.train_on_labels(cloud_pool)
-                        cloud_pool = []
-                        update = ModelDownload(num_parameters=self.student.num_parameters())
-                        self.accountant.record_downlink(update, now)
-                        arrival = now + self.link.downlink_seconds(update)
-                        pending_model_update = (arrival, result.model_state)
-
-        duration = stream.duration_seconds
-        fps_trace, utilization_trace = self._build_traces(duration, stream.fps,
-                                                          stream_motion_total / max(1, len(stream)))
-        return SessionResult(
-            strategy_name=options.name,
-            dataset_name=self.dataset.name,
-            evaluated_frame_indices=evaluated_indices,
-            detections_per_frame=detections_per_frame,
-            ground_truth_per_frame=ground_truth_per_frame,
-            domain_per_frame=domain_per_frame,
-            bandwidth=self.accountant.summary(duration),
-            fps_trace=fps_trace,
-            utilization_trace=utilization_trace,
-            sampling_rate_history=rate_history,
-            training_reports=[w.report for w in self.edge.training_windows],
-            training_windows=list(self.edge.training_windows),
-            cloud_gpu_seconds=self.cloud.total_gpu_seconds,
-            duration_seconds=duration,
-            num_uploads=num_uploads,
+        Builds the event kernel around this session's edge device and
+        cloud server and drains it.  The horizon is the last frame's
+        timestamp: anything still in flight afterwards (e.g. an AMS
+        model download) is dropped, as in the original loop.
+        """
+        from repro.core.actors import (
+            CloudActor,
+            EdgeActor,
+            InstantTransport,
+            SessionKernel,
         )
 
-    # -- derived traces -----------------------------------------------------
-    def _build_traces(
-        self, duration: float, video_fps: float, mean_motion: float
-    ) -> tuple[np.ndarray, np.ndarray]:
-        """Per-second FPS and utilisation traces from the simulated timeline."""
-        seconds = max(1, int(np.ceil(duration)))
-        fps_trace = np.zeros(seconds)
-        util_trace = np.zeros(seconds)
-
-        if self.options.use_cloud_detections:
-            # Cloud-Only: each frame waits for upload + teacher + download
-            per_frame = (
-                self.link.config.rtt_seconds
-                + self.teacher.inference_seconds
-                + self._cloud_only_transfer_seconds(mean_motion, video_fps)
-            )
-            cloud_fps = min(video_fps, 1.0 / per_frame)
-            fps_trace[:] = cloud_fps
-            util_trace[:] = 0.05  # the edge only forwards frames
-            return fps_trace, util_trace
-
-        for second in range(seconds):
-            midpoint = second + 0.5
-            window_overlap = self._training_overlap(second)
-            busy_fps = min(video_fps, self.edge_compute.fps_while_training)
-            idle_fps = min(video_fps, self.edge_compute.max_fps)
-            fps_trace[second] = window_overlap * busy_fps + (1 - window_overlap) * idle_fps
-            util_trace[second] = self.edge.utilization_at(midpoint, video_fps)
-        return fps_trace, util_trace
-
-    def _training_overlap(self, second: int) -> float:
-        """Fraction of the interval [second, second+1) covered by training."""
-        start, end = float(second), float(second + 1)
-        overlap = 0.0
-        for window in self.edge.training_windows:
-            overlap += max(0.0, min(end, window.end) - max(start, window.start))
-        return min(1.0, overlap)
-
-    def _cloud_only_transfer_seconds(self, mean_motion: float, video_fps: float) -> float:
-        """Per-frame network time for the Cloud-Only strategy."""
-        encoder = H264Encoder(self.dataset.render_config.nominal_height
-                              * self.dataset.render_config.nominal_width)
-        frame_bytes = encoder.stream_bytes_per_second(video_fps, mean_motion) / video_fps
-        up = frame_bytes * 8 / (self.link.config.uplink_kbps * 1000.0)
-        down_bytes = ResultDownload(num_boxes=4).size_bytes()
-        down = down_bytes * 8 / (self.link.config.downlink_kbps * 1000.0)
-        return up + down
+        stream = self.dataset.build()
+        scheduler = EventScheduler()
+        transport = InstantTransport(self.link)
+        cloud_actor = CloudActor(self.cloud, transport, queued=False)
+        edge_actor = EdgeActor(
+            camera_id=0,
+            edge=self.edge,
+            cloud_actor=cloud_actor,
+            teacher=self.teacher,
+            options=self.options,
+            config=self.config,
+            encoder=H264Encoder(stream.renderer.nominal_pixels),
+            transport=transport,
+            dataset=self.dataset,
+            link_config=self.link.config,
+            edge_compute=self.edge_compute,
+            accountant=self.accountant,
+        )
+        cloud_actor.register_camera(edge_actor, use_server_trainer=True)
+        kernel = SessionKernel(
+            scheduler,
+            edge_actors={0: edge_actor},
+            cloud_actor=cloud_actor,
+            transport=transport,
+            streams={0: iter(stream)},
+        )
+        last_frame_time = (self.dataset.num_frames - 1) / self.dataset.fps
+        kernel.run(horizon=last_frame_time)
+        return edge_actor.build_result(cloud_gpu_seconds=self.cloud.total_gpu_seconds)

@@ -12,7 +12,7 @@ the input, at the ``conv5_4`` analog, or at the penultimate ``pool`` layer.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -9,8 +9,10 @@ from repro.eval.results import StrategyRunResult, format_table, format_compariso
 from repro.eval.runner import (
     prepare_student,
     run_strategy,
+    run_fleet,
     compare_strategies,
     ExperimentSettings,
+    FleetRunResult,
 )
 from repro.eval.cdf import gain_cdf, cdf_points
 
@@ -20,8 +22,10 @@ __all__ = [
     "format_comparison_table",
     "prepare_student",
     "run_strategy",
+    "run_fleet",
     "compare_strategies",
     "ExperimentSettings",
+    "FleetRunResult",
     "gain_cdf",
     "cdf_points",
 ]

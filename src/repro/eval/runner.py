@@ -3,11 +3,13 @@
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.config import ShoggothConfig
+from repro.core.fleet import CameraSpec, FleetResult, FleetSession
+from repro.core.session import SessionResult
 from repro.core.strategies import Strategy, build_strategy
 from repro.detection.metrics import (
     evaluate_average_iou,
@@ -18,9 +20,17 @@ from repro.detection.pretrain import generate_offline_dataset, pretrain_student
 from repro.detection.student import StudentConfig, StudentDetector
 from repro.detection.teacher import TeacherConfig, TeacherDetector
 from repro.eval.results import StrategyRunResult
+from repro.network.link import LinkConfig, SharedLink
 from repro.video.datasets import DatasetSpec
 
-__all__ = ["ExperimentSettings", "prepare_student", "run_strategy", "compare_strategies"]
+__all__ = [
+    "ExperimentSettings",
+    "prepare_student",
+    "run_strategy",
+    "compare_strategies",
+    "FleetRunResult",
+    "run_fleet",
+]
 
 
 @dataclass(frozen=True)
@@ -112,7 +122,13 @@ def run_strategy(
         seed=settings.seed,
         replay_seed=replay_seed,
     )
+    return _score_session(session, dataset.name, settings)
 
+
+def _score_session(
+    session: SessionResult, dataset_name: str, settings: ExperimentSettings
+) -> StrategyRunResult:
+    """Turn a raw session outcome into the reported metric bundle."""
     map_result = evaluate_map(session.detections_per_frame, session.ground_truth_per_frame)
     avg_iou = evaluate_average_iou(
         session.detections_per_frame, session.ground_truth_per_frame
@@ -124,7 +140,7 @@ def run_strategy(
     )
     return StrategyRunResult(
         strategy=session.strategy_name,
-        dataset=dataset.name,
+        dataset=dataset_name,
         map_result=map_result,
         average_iou=avg_iou,
         uplink_kbps=session.bandwidth.uplink_kbps,
@@ -135,6 +151,94 @@ def run_strategy(
         num_training_sessions=len(session.training_reports),
         session=session,
     )
+
+
+@dataclass(frozen=True)
+class FleetRunResult:
+    """A fleet evaluated end-to-end: per-camera metrics plus shared-resource stats."""
+
+    fleet: FleetResult
+    per_camera: dict[str, StrategyRunResult]
+
+    @property
+    def num_cameras(self) -> int:
+        return self.fleet.num_cameras
+
+    @property
+    def mean_map50(self) -> float:
+        if not self.per_camera:
+            return 0.0
+        return float(np.mean([r.map50 for r in self.per_camera.values()]))
+
+    @property
+    def mean_fps(self) -> float:
+        if not self.per_camera:
+            return 0.0
+        return float(np.mean([r.average_fps for r in self.per_camera.values()]))
+
+    @property
+    def mean_upload_latency(self) -> float:
+        latencies = [lat for c in self.fleet.cameras for lat in c.upload_latencies]
+        if not latencies:
+            return 0.0
+        return float(np.mean(latencies))
+
+    def row(self) -> dict[str, float | str]:
+        """Flat summary row for fleet-scaling tables."""
+        return {
+            "cameras": self.num_cameras,
+            "mean mAP@0.5 (%)": round(100.0 * self.mean_map50, 1),
+            "mean FPS": round(self.mean_fps, 1),
+            "queue delay (s)": round(self.fleet.mean_queue_delay, 3),
+            "upload latency (s)": round(self.mean_upload_latency, 3),
+            "cloud GPU (s)": round(self.fleet.cloud_gpu_seconds, 1),
+            "cloud util": round(self.fleet.cloud_utilization, 3),
+        }
+
+
+def run_fleet(
+    cameras: list[CameraSpec],
+    student: StudentDetector,
+    settings: ExperimentSettings | None = None,
+    teacher_config: TeacherConfig | None = None,
+    config: ShoggothConfig | None = None,
+    link: SharedLink | None = None,
+    link_config: LinkConfig | None = None,
+    batch_overhead_seconds: float = 0.02,
+) -> FleetRunResult:
+    """Run N cameras against one shared cloud/link and score each stream.
+
+    Every camera starts from a fresh clone of ``student``; the fleet
+    shares one teacher GPU (FIFO labeling queue) and one
+    processor-sharing link, so the per-camera metrics degrade as the
+    fleet grows — the scaling behaviour
+    ``benchmarks/bench_fleet_scaling.py`` measures.
+    """
+    settings = settings or ExperimentSettings()
+    teacher = TeacherDetector(teacher_config or TeacherConfig(seed=settings.seed + 7))
+
+    replay_seed = None
+    if settings.replay_seed_images > 0:
+        replay_seed = generate_offline_dataset(
+            settings.replay_seed_images, seed=settings.seed + 900
+        )
+
+    fleet = FleetSession(
+        cameras=cameras,
+        student=student,
+        teacher=teacher,
+        config=config or settings.shoggoth_config(),
+        link=link,
+        link_config=link_config,
+        replay_seed=replay_seed,
+        batch_overhead_seconds=batch_overhead_seconds,
+    )
+    outcome = fleet.run()
+    per_camera = {
+        entry.camera: _score_session(entry.session, entry.session.dataset_name, settings)
+        for entry in outcome.cameras
+    }
+    return FleetRunResult(fleet=outcome, per_camera=per_camera)
 
 
 def compare_strategies(

@@ -18,7 +18,7 @@ from repro.network.messages import (
     LABEL_BYTES_PER_BOX,
     MESSAGE_OVERHEAD_BYTES,
 )
-from repro.network.link import NetworkLink, LinkConfig
+from repro.network.link import NetworkLink, LinkConfig, SharedLink, LinkTransfer
 from repro.network.accounting import BandwidthAccountant, BandwidthSummary
 
 __all__ = [
@@ -32,6 +32,8 @@ __all__ = [
     "MESSAGE_OVERHEAD_BYTES",
     "NetworkLink",
     "LinkConfig",
+    "SharedLink",
+    "LinkTransfer",
     "BandwidthAccountant",
     "BandwidthSummary",
 ]

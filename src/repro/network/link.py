@@ -1,12 +1,21 @@
-"""Network link model between one edge device and the cloud."""
+"""Network link models between edge devices and the cloud.
+
+:class:`NetworkLink` is the original point-to-point model: one edge
+device, closed-form transfer times.  :class:`SharedLink` extends it for
+fleet sessions: each direction is a processor-sharing pipe whose
+capacity is split equally across all concurrent transfers, so upload
+latency rises as more cameras contend for the same uplink.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
 
 from repro.network.messages import Message
 
-__all__ = ["LinkConfig", "NetworkLink"]
+__all__ = ["LinkConfig", "NetworkLink", "SharedLink", "LinkTransfer"]
 
 
 @dataclass(frozen=True)
@@ -43,3 +52,179 @@ class NetworkLink:
     def round_trip_seconds(self, request: Message, response: Message) -> float:
         """Request up, response down."""
         return self.uplink_seconds(request) + self.downlink_seconds(response)
+
+
+@dataclass
+class LinkTransfer:
+    """One in-flight transfer on a :class:`SharedLink` direction.
+
+    ``payload`` carries whatever the simulation needs delivered when the
+    transfer completes (a frame batch, a labeling response, a model
+    state); the link itself never inspects it.
+    """
+
+    transfer_id: int
+    direction: str  # "up" or "down"
+    size_bits: float
+    remaining_bits: float
+    start_time: float
+    camera_id: int = 0
+    payload: Any = None
+    drain_time: float | None = field(default=None, compare=False)
+
+    @property
+    def drained(self) -> bool:
+        return self.remaining_bits <= 0.0
+
+
+class _SharedPipe:
+    """Processor-sharing pipe: capacity split equally among active transfers.
+
+    The pipe advances piecewise: between state changes every undrained
+    transfer drains at ``capacity / n_active`` bits per second.  Because a
+    new arrival slows everything already in flight, previously projected
+    completion times go stale — callers re-project via
+    :meth:`next_completion` after every :meth:`add` / :meth:`retire` and
+    reschedule their completion events accordingly.
+    """
+
+    def __init__(self, capacity_bps: float, extra_latency: float) -> None:
+        if capacity_bps <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity_bps = capacity_bps
+        self.extra_latency = extra_latency
+        self._transfers: list[LinkTransfer] = []
+        self._time = 0.0
+
+    @property
+    def active_count(self) -> int:
+        """Transfers still consuming capacity (drained ones are excluded)."""
+        return sum(1 for t in self._transfers if not t.drained)
+
+    @property
+    def in_flight(self) -> list[LinkTransfer]:
+        return list(self._transfers)
+
+    def add(self, transfer: LinkTransfer, now: float) -> None:
+        self._advance(now)
+        self._transfers.append(transfer)
+
+    def retire(self, transfer: LinkTransfer, now: float) -> None:
+        """Remove a delivered transfer (after advancing shared state)."""
+        self._advance(now)
+        self._transfers.remove(transfer)
+
+    def next_completion(self, now: float) -> tuple[LinkTransfer, float] | None:
+        """Earliest (transfer, completion time) given the *current* load.
+
+        Completion = drain time (when the last bit leaves the pipe) plus
+        the propagation latency.  The projection assumes no further
+        arrivals; callers must re-project when load changes.
+        """
+        self._advance(now)
+        if not self._transfers:
+            return None
+        best: tuple[LinkTransfer, float] | None = None
+        active = self.active_count
+        for transfer in self._transfers:
+            if transfer.drained:
+                completion = (transfer.drain_time or self._time) + self.extra_latency
+            else:
+                drain = self._time + transfer.remaining_bits * active / self.capacity_bps
+                completion = drain + self.extra_latency
+            if best is None or completion < best[1]:
+                best = (transfer, completion)
+        return best
+
+    def _advance(self, now: float) -> None:
+        """Drain bits piecewise from the last update time up to ``now``."""
+        if now < self._time - 1e-9:
+            raise ValueError("pipe time cannot move backwards")
+        remaining_dt = max(0.0, now - self._time)
+        while remaining_dt > 0.0:
+            active = [t for t in self._transfers if not t.drained]
+            if not active:
+                break
+            rate = self.capacity_bps / len(active)
+            to_first_drain = min(t.remaining_bits for t in active) / rate
+            step = min(remaining_dt, to_first_drain)
+            for transfer in active:
+                transfer.remaining_bits -= step * rate
+                if transfer.remaining_bits <= 1e-6:
+                    transfer.remaining_bits = 0.0
+                    transfer.drain_time = self._time + step
+            self._time += step
+            remaining_dt -= step
+        self._time = max(self._time, now)
+
+
+class SharedLink:
+    """A cloud-facing link shared by a fleet of cameras.
+
+    Uplink and downlink are independent processor-sharing pipes; each
+    direction's capacity is split equally among its concurrent
+    transfers, and every transfer additionally pays half the RTT as
+    propagation.  With one transfer at a time this reduces to
+    :class:`NetworkLink` timings.
+    """
+
+    def __init__(self, config: LinkConfig | None = None) -> None:
+        self.config = config or LinkConfig()
+        half_rtt = self.config.rtt_seconds / 2
+        self._up = _SharedPipe(self.config.uplink_kbps * 1000.0, half_rtt)
+        self._down = _SharedPipe(self.config.downlink_kbps * 1000.0, half_rtt)
+        self._ids = itertools.count()
+
+    # -- starting transfers -----------------------------------------------
+    def begin_uplink(
+        self, message: Message, now: float, camera_id: int = 0, payload: Any = None
+    ) -> LinkTransfer:
+        return self._begin(self._up, "up", message, now, camera_id, payload)
+
+    def begin_downlink(
+        self, message: Message, now: float, camera_id: int = 0, payload: Any = None
+    ) -> LinkTransfer:
+        return self._begin(self._down, "down", message, now, camera_id, payload)
+
+    def _begin(
+        self,
+        pipe: _SharedPipe,
+        direction: str,
+        message: Message,
+        now: float,
+        camera_id: int,
+        payload: Any,
+    ) -> LinkTransfer:
+        bits = float(message.size_bytes() * 8)
+        transfer = LinkTransfer(
+            transfer_id=next(self._ids),
+            direction=direction,
+            size_bits=bits,
+            remaining_bits=bits,
+            start_time=now,
+            camera_id=camera_id,
+            payload=payload,
+        )
+        pipe.add(transfer, now)
+        return transfer
+
+    # -- completion projection ---------------------------------------------
+    def next_uplink_completion(self, now: float) -> tuple[LinkTransfer, float] | None:
+        return self._up.next_completion(now)
+
+    def next_downlink_completion(self, now: float) -> tuple[LinkTransfer, float] | None:
+        return self._down.next_completion(now)
+
+    def retire(self, transfer: LinkTransfer, now: float) -> None:
+        """Remove a completed transfer from its pipe."""
+        pipe = self._up if transfer.direction == "up" else self._down
+        pipe.retire(transfer, now)
+
+    # -- introspection -------------------------------------------------------
+    @property
+    def active_uplinks(self) -> int:
+        return self._up.active_count
+
+    @property
+    def active_downlinks(self) -> int:
+        return self._down.active_count

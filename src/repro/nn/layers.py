@@ -11,7 +11,7 @@ Shoggoth adaptive-training code reads like the system described in the paper.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from typing import Iterator
 
 import numpy as np
 
@@ -101,9 +101,14 @@ class Module:
         return self
 
     def children(self) -> Iterator["Module"]:
+        """Direct sub-modules, including ones stored in list/tuple attributes."""
         for value in self.__dict__.values():
             if isinstance(value, Module):
                 yield value
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield item
 
     def zero_grad(self) -> None:
         for param in self.parameters():

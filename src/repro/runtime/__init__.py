@@ -15,6 +15,16 @@ from repro.runtime.device import (
     TrainingCostModel,
     TrainingCost,
 )
+from repro.runtime.events import (
+    Event,
+    EventScheduler,
+    FrameArrival,
+    LabelingDone,
+    LabelsReady,
+    ModelDownloadComplete,
+    TrainingDone,
+    UploadComplete,
+)
 from repro.runtime.fps import FPSTracker
 from repro.runtime.resources import ResourceMonitor
 
@@ -24,6 +34,14 @@ __all__ = [
     "CloudComputeModel",
     "TrainingCostModel",
     "TrainingCost",
+    "Event",
+    "EventScheduler",
+    "FrameArrival",
+    "UploadComplete",
+    "LabelingDone",
+    "LabelsReady",
+    "TrainingDone",
+    "ModelDownloadComplete",
     "FPSTracker",
     "ResourceMonitor",
 ]

@@ -1,0 +1,223 @@
+"""Discrete-event simulation kernel: typed events and a heap scheduler.
+
+The collaborative sessions (:mod:`repro.core.session`,
+:mod:`repro.core.fleet`) are driven by a priority queue of timestamped
+events rather than a frame-by-frame loop.  This is what lets N camera
+streams share one cloud server and one network link: every interaction
+between an edge device and the cloud — a frame arriving, an upload
+draining out of the shared uplink, the teacher finishing a labeling
+batch, a training session ending, a streamed model update landing —
+is an :class:`Event` popped in simulated-time order.
+
+Ordering guarantees:
+
+* events pop in non-decreasing ``time`` order (the scheduler advances a
+  :class:`~repro.runtime.clock.SimulationClock` as it pops);
+* ties on ``time`` break on the event's ``priority`` class (lower pops
+  first) — e.g. a :class:`ModelDownloadComplete` scheduled for the same
+  instant as a :class:`FrameArrival` is applied *before* the frame is
+  processed, matching the semantics of the original monolithic loop;
+* remaining ties break on scheduling order (FIFO), so the simulation is
+  fully deterministic.
+
+Events can be cancelled after scheduling (lazy deletion), which the
+processor-sharing :class:`~repro.network.link.SharedLink` relies on to
+re-project transfer completion times whenever the set of concurrent
+transfers changes.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, ClassVar, Iterator
+
+from repro.runtime.clock import SimulationClock
+
+__all__ = [
+    "Event",
+    "FrameArrival",
+    "UploadComplete",
+    "LabelsReady",
+    "LabelingDone",
+    "TrainingDone",
+    "ModelDownloadComplete",
+    "EventScheduler",
+]
+
+
+@dataclass
+class Event:
+    """Base class for everything the kernel schedules.
+
+    ``priority`` is a *class-level* tie-breaker for events at the same
+    simulated time: lower values pop first.  ``camera_id`` routes the
+    event to the right edge actor in fleet sessions (single-camera
+    sessions use camera 0 throughout).
+    """
+
+    time: float
+    camera_id: int = 0
+    cancelled: bool = field(default=False, compare=False)
+
+    #: tie-break class at equal time; lower pops first
+    priority: ClassVar[int] = 5
+
+    def cancel(self) -> None:
+        """Mark the event dead; the scheduler skips it on pop."""
+        self.cancelled = True
+
+
+@dataclass
+class ModelDownloadComplete(Event):
+    """A streamed student-model update finished downloading (AMS).
+
+    Applied before any frame at the same instant is processed, so the
+    refreshed weights are what that frame's inference sees.
+    """
+
+    model_state: dict = field(default_factory=dict)
+
+    priority: ClassVar[int] = 0
+
+
+@dataclass
+class UploadComplete(Event):
+    """A sampled-frame batch finished crossing the uplink."""
+
+    batch: list = field(default_factory=list)
+    alpha: float = 0.0
+    lambda_usage: float = 0.0
+    #: when the edge handed the batch to the network (for latency stats)
+    sent_at: float = 0.0
+
+    priority: ClassVar[int] = 1
+
+
+@dataclass
+class LabelingDone(Event):
+    """The cloud GPU finished a (possibly multi-tenant) labeling batch.
+
+    Internal to the fleet's FIFO labeling queue; carries the jobs that
+    were served together so per-tenant accounting can split the GPU
+    time.
+    """
+
+    jobs: list = field(default_factory=list)
+
+    priority: ClassVar[int] = 1
+
+
+@dataclass
+class LabelsReady(Event):
+    """Teacher pseudo-labels (and the new sampling rate) reached the edge."""
+
+    response: Any = None
+
+    priority: ClassVar[int] = 2
+
+
+@dataclass
+class TrainingDone(Event):
+    """An adaptive-training session released the device/GPU."""
+
+    window: Any = None
+
+    priority: ClassVar[int] = 3
+
+
+@dataclass
+class FrameArrival(Event):
+    """The next frame of a camera's stream is due for processing.
+
+    Deliberately the *last* priority class: at any instant, completed
+    network transfers, fresh labels and model updates settle before the
+    frame is run through inference.
+    """
+
+    frame: Any = None
+
+    priority: ClassVar[int] = 4
+
+
+class EventScheduler:
+    """Heap-based future-event list driving a :class:`SimulationClock`."""
+
+    def __init__(self, clock: SimulationClock | None = None) -> None:
+        self.clock = clock or SimulationClock()
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._sequence = itertools.count()
+        self.num_scheduled = 0
+        self.num_dispatched = 0
+
+    # -- properties ----------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time (the time of the last popped event)."""
+        return self.clock.now
+
+    def __len__(self) -> int:
+        """Live (non-cancelled) events still queued."""
+        return sum(1 for entry in self._heap if not entry[3].cancelled)
+
+    def __bool__(self) -> bool:
+        return any(not entry[3].cancelled for entry in self._heap)
+
+    # -- scheduling ----------------------------------------------------------
+    def schedule(self, event: Event) -> Event:
+        """Queue an event; returns it so callers can keep a cancel handle."""
+        if event.time < self.clock.now - 1e-9:
+            raise ValueError(
+                f"cannot schedule event at {event.time} before current time "
+                f"{self.clock.now}"
+            )
+        heapq.heappush(
+            self._heap, (event.time, event.priority, next(self._sequence), event)
+        )
+        self.num_scheduled += 1
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Lazily remove a queued event (no-op if already popped)."""
+        event.cancel()
+
+    # -- dispatch ------------------------------------------------------------
+    def peek(self) -> Event | None:
+        """The next live event without popping it (or None when drained)."""
+        while self._heap and self._heap[0][3].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0][3] if self._heap else None
+
+    def pop(self) -> Event | None:
+        """Pop the next live event, advancing the clock to its time."""
+        while self._heap:
+            event = heapq.heappop(self._heap)[3]
+            if event.cancelled:
+                continue
+            self.clock.advance_to(event.time)
+            self.num_dispatched += 1
+            return event
+        return None
+
+    def __iter__(self) -> Iterator[Event]:
+        """Drain the queue in simulated-time order."""
+        while True:
+            event = self.pop()
+            if event is None:
+                return
+            yield event
+
+    def run(self, handler: Callable[[Event], None], until: float | None = None) -> int:
+        """Dispatch events through ``handler`` until drained (or ``until``).
+
+        Returns the number of events dispatched.  ``handler`` may schedule
+        further events; they are interleaved in time order as usual.
+        """
+        dispatched = 0
+        while True:
+            nxt = self.peek()
+            if nxt is None or (until is not None and nxt.time > until):
+                return dispatched
+            handler(self.pop())
+            dispatched += 1

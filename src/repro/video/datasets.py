@@ -18,7 +18,7 @@ each dataset contributes to the evaluation:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.video.domains import (

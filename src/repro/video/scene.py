@@ -12,7 +12,7 @@ to the frame, so the same scene can be rendered at any resolution.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -1,0 +1,114 @@
+"""Behaviour-preservation proof for the event-kernel refactor.
+
+The golden numbers below were captured by running the *seed-state*
+monolithic ``CollaborativeSession.run()`` loop (commit c7a4771, before
+the actor/event decomposition) on a fixed 300-frame detrac stream with
+fixed seeds.  The refactored facade must reproduce them bit-for-bit:
+same uploads, same transferred bytes, same GPU time, same training
+window boundaries (which depend on the exact RNG consumption order of
+the trainer), same FPS trace, and — for the adaptive strategies — the
+same final student weights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CollaborativeSession, ShoggothConfig, build_strategy
+from repro.detection import StudentConfig, StudentDetector, TeacherConfig, TeacherDetector
+from repro.video import build_dataset
+
+#: metrics recorded from the seed-state monolithic loop (see module docstring)
+SEED_STATE_GOLDEN = {
+    "shoggoth": dict(
+        num_uploads=6,
+        uplink_bytes=434064,
+        downlink_bytes=4336,
+        cloud_gpu_seconds=0.9000000000000001,
+        training_window_ends=[2.662, 5.672763, 8.675454],
+        average_fps=29.234674402730377,
+        weight_checksum=3606.6471648062834,
+    ),
+    "ams": dict(
+        num_uploads=6,
+        uplink_bytes=434064,
+        downlink_bytes=611740,
+        cloud_gpu_seconds=1.0500000000000003,
+        training_window_ends=[],
+        average_fps=30.0,
+        weight_checksum=3606.6471648062834,
+    ),
+    "edge_only": dict(
+        num_uploads=0,
+        uplink_bytes=0,
+        downlink_bytes=0,
+        cloud_gpu_seconds=0.0,
+        training_window_ends=[],
+        average_fps=30.0,
+        weight_checksum=None,
+    ),
+    "cloud_only": dict(
+        num_uploads=0,
+        uplink_bytes=3070484,
+        downlink_bytes=3726136,
+        cloud_gpu_seconds=15.000000000000078,
+        training_window_ends=[],
+        average_fps=9.716629402313284,
+        weight_checksum=None,
+    ),
+    "prompt": dict(
+        num_uploads=6,
+        uplink_bytes=434064,
+        downlink_bytes=4336,
+        cloud_gpu_seconds=0.9000000000000001,
+        training_window_ends=[2.662, 5.672763, 8.675454],
+        average_fps=29.234674402730377,
+        weight_checksum=None,
+    ),
+}
+
+
+def golden_config() -> ShoggothConfig:
+    return (
+        ShoggothConfig(eval_stride=5)
+        .with_training(train_batch_size=4, replay_capacity=12, minibatch_size=8, epochs=1)
+        .with_sampling(initial_rate_fps=2.0)
+    )
+
+
+@pytest.fixture(scope="module")
+def base_student() -> StudentDetector:
+    return StudentDetector(StudentConfig(seed=5))
+
+
+@pytest.mark.parametrize("name", sorted(SEED_STATE_GOLDEN))
+def test_refactored_session_matches_seed_state(name, base_student):
+    golden = SEED_STATE_GOLDEN[name]
+    dataset = build_dataset("detrac", num_frames=300)
+    teacher = TeacherDetector(TeacherConfig(seed=9))
+    student = base_student.clone()
+    session = CollaborativeSession(
+        dataset=dataset,
+        student=student,
+        teacher=teacher,
+        options=build_strategy(name).options,
+        config=golden_config(),
+        seed=0,
+    )
+    result = session.run()
+
+    assert result.num_uploads == golden["num_uploads"]
+    assert result.bandwidth.uplink_bytes == golden["uplink_bytes"]
+    assert result.bandwidth.downlink_bytes == golden["downlink_bytes"]
+    assert result.cloud_gpu_seconds == pytest.approx(
+        golden["cloud_gpu_seconds"], rel=1e-12
+    )
+    assert [round(w.end, 6) for w in result.training_windows] == pytest.approx(
+        golden["training_window_ends"]
+    )
+    assert result.average_fps == pytest.approx(golden["average_fps"], rel=1e-12)
+
+    if golden["weight_checksum"] is not None:
+        checksum = float(sum(np.abs(v).sum() for v in student.state_dict().values()))
+        assert checksum == pytest.approx(golden["weight_checksum"], rel=1e-12)

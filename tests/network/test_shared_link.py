@@ -1,0 +1,117 @@
+"""SharedLink tests: processor-sharing capacity splitting and completion times."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.link import LinkConfig, NetworkLink, SharedLink
+from repro.network.messages import FrameBatchUpload
+
+
+def upload(num_bytes: int) -> FrameBatchUpload:
+    # subtract the protocol overhead so size_bytes() is exactly num_bytes
+    from repro.network.messages import MESSAGE_OVERHEAD_BYTES
+
+    return FrameBatchUpload(num_frames=1, encoded_bytes=num_bytes - MESSAGE_OVERHEAD_BYTES)
+
+
+@pytest.fixture
+def config() -> LinkConfig:
+    # 1 Mbps both ways, 40 ms RTT: a 125_000-byte message serialises in 1 s
+    return LinkConfig(uplink_kbps=1000.0, downlink_kbps=1000.0, rtt_seconds=0.04)
+
+
+class TestSingleTransfer:
+    def test_matches_point_to_point_link(self, config):
+        shared = SharedLink(config)
+        point = NetworkLink(config)
+        message = upload(125_000)
+        transfer = shared.begin_uplink(message, now=0.0)
+        projected = shared.next_uplink_completion(0.0)
+        assert projected is not None
+        got_transfer, completion = projected
+        assert got_transfer is transfer
+        assert completion == pytest.approx(point.uplink_seconds(message))
+
+    def test_downlink_is_independent_of_uplink(self, config):
+        shared = SharedLink(config)
+        shared.begin_uplink(upload(125_000), now=0.0)
+        shared.begin_downlink(upload(125_000), now=0.0)
+        _, up_done = shared.next_uplink_completion(0.0)
+        _, down_done = shared.next_downlink_completion(0.0)
+        # neither direction slows the other
+        assert up_done == pytest.approx(down_done)
+        assert up_done == pytest.approx(1.0 + 0.02)
+
+
+class TestCapacitySplitting:
+    def test_two_concurrent_transfers_take_twice_as_long(self, config):
+        shared = SharedLink(config)
+        shared.begin_uplink(upload(125_000), now=0.0)
+        shared.begin_uplink(upload(125_000), now=0.0)
+        _, completion = shared.next_uplink_completion(0.0)
+        assert completion == pytest.approx(2.0 + 0.02)
+
+    def test_late_arrival_pushes_out_existing_transfer(self, config):
+        shared = SharedLink(config)
+        first = shared.begin_uplink(upload(125_000), now=0.0)
+        _, alone = shared.next_uplink_completion(0.0)
+        assert alone == pytest.approx(1.02)
+        # halfway through, a second equal transfer arrives: the remaining
+        # 62.5 KB now drain at half rate -> 0.5 + 2 * 0.5 = 1.5 s drain
+        shared.begin_uplink(upload(125_000), now=0.5)
+        projected, completion = shared.next_uplink_completion(0.5)
+        assert projected is first
+        assert completion == pytest.approx(1.5 + 0.02)
+
+    def test_completions_are_sequential_after_first_retires(self, config):
+        shared = SharedLink(config)
+        shared.begin_uplink(upload(125_000), now=0.0)
+        second = shared.begin_uplink(upload(250_000), now=0.0)
+        first_transfer, first_done = shared.next_uplink_completion(0.0)
+        # equal shares: first drains at 2.0 s; second still has 125 KB left
+        assert first_done == pytest.approx(2.02)
+        shared.retire(first_transfer, first_done)
+        remaining, second_done = shared.next_uplink_completion(first_done)
+        assert remaining is second
+        # after 2.02 s alone at full rate the leftover (~122.5KB) drains
+        assert second_done == pytest.approx(3.02, abs=0.05)
+        assert shared.active_uplinks == 1
+
+    def test_latency_grows_with_fleet_size(self, config):
+        completions = []
+        for n in (1, 2, 4, 8):
+            shared = SharedLink(config)
+            transfers = [shared.begin_uplink(upload(12_500), now=0.0) for _ in range(n)]
+            _, done = shared.next_uplink_completion(0.0)
+            completions.append(done)
+            assert len(transfers) == shared.active_uplinks == n
+        assert completions == sorted(completions)
+        assert completions[-1] > 4 * completions[0]
+
+
+class TestPipeBookkeeping:
+    def test_time_cannot_go_backwards(self, config):
+        shared = SharedLink(config)
+        shared.begin_uplink(upload(125_000), now=1.0)
+        with pytest.raises(ValueError):
+            shared.next_uplink_completion(0.5)
+
+    def test_empty_pipe_has_no_completion(self, config):
+        shared = SharedLink(config)
+        assert shared.next_uplink_completion(0.0) is None
+        assert shared.active_uplinks == 0
+
+    def test_drained_transfer_stops_consuming_capacity(self, config):
+        shared = SharedLink(config)
+        small = shared.begin_uplink(upload(12_500), now=0.0)  # 0.1 s alone
+        shared.begin_uplink(upload(125_000), now=0.0)
+        # small drains first (equal shares -> at 0.2 s); before it is
+        # retired the big transfer should already be draining at full rate
+        _, small_done = shared.next_uplink_completion(0.0)
+        assert small_done == pytest.approx(0.22)
+        shared.retire(small, small_done)
+        assert small.drained
+        _, big_done = shared.next_uplink_completion(small_done)
+        # big: 0.2 s at half rate (100 Kb drained) + 900 Kb at full rate
+        assert big_done == pytest.approx(0.2 + 0.9 + 0.02)

@@ -229,3 +229,23 @@ class TestModuleUtilities:
         a = nn.Linear(3, 2, rng=rng)
         with pytest.raises(KeyError):
             a.load_state_dict({"bogus": np.zeros(1)})
+
+    def test_children_discovers_modules_in_containers(self, rng):
+        """train()/eval() must reach modules stored in list/tuple attributes."""
+
+        class Branchy(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.direct = nn.Dropout(0.5)
+                self.blocks = [nn.Dropout(0.5), nn.ReLU()]
+                self.pair = (nn.Dropout(0.5),)
+
+        model = Branchy()
+        kids = list(model.children())
+        assert len(kids) == 4
+        model.eval()
+        assert not model.direct.training
+        assert all(not child.training for child in model.blocks)
+        assert not model.pair[0].training
+        model.train()
+        assert model.blocks[0].training and model.pair[0].training

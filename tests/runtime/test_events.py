@@ -1,0 +1,125 @@
+"""Event kernel tests: ordering, tie-breaking, cancellation, dispatch."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.clock import SimulationClock
+from repro.runtime.events import (
+    Event,
+    EventScheduler,
+    FrameArrival,
+    LabelsReady,
+    ModelDownloadComplete,
+    TrainingDone,
+    UploadComplete,
+)
+
+
+class TestEventOrdering:
+    def test_pops_in_time_order(self):
+        scheduler = EventScheduler()
+        scheduler.schedule(Event(time=3.0))
+        scheduler.schedule(Event(time=1.0))
+        scheduler.schedule(Event(time=2.0))
+        times = [event.time for event in scheduler]
+        assert times == [1.0, 2.0, 3.0]
+
+    def test_clock_advances_with_pops(self):
+        scheduler = EventScheduler()
+        scheduler.schedule(Event(time=5.0))
+        scheduler.schedule(Event(time=2.0))
+        assert scheduler.now == 0.0
+        scheduler.pop()
+        assert scheduler.now == 2.0
+        scheduler.pop()
+        assert scheduler.now == 5.0
+
+    def test_priority_breaks_time_ties(self):
+        """At the same instant: model update < upload < labels < training < frame."""
+        scheduler = EventScheduler()
+        frame = scheduler.schedule(FrameArrival(time=1.0))
+        training = scheduler.schedule(TrainingDone(time=1.0))
+        labels = scheduler.schedule(LabelsReady(time=1.0))
+        upload = scheduler.schedule(UploadComplete(time=1.0))
+        model = scheduler.schedule(ModelDownloadComplete(time=1.0))
+        assert list(scheduler) == [model, upload, labels, training, frame]
+
+    def test_fifo_breaks_full_ties(self):
+        scheduler = EventScheduler()
+        first = scheduler.schedule(FrameArrival(time=1.0, camera_id=0))
+        second = scheduler.schedule(FrameArrival(time=1.0, camera_id=1))
+        assert scheduler.pop() is first
+        assert scheduler.pop() is second
+
+    def test_model_update_applies_before_same_time_frame(self):
+        """The AMS semantics the monolithic loop had: update lands, then infer."""
+        scheduler = EventScheduler()
+        scheduler.schedule(FrameArrival(time=2.0))
+        scheduler.schedule(ModelDownloadComplete(time=2.0))
+        kinds = [type(event).__name__ for event in scheduler]
+        assert kinds == ["ModelDownloadComplete", "FrameArrival"]
+
+
+class TestSchedulerAPI:
+    def test_cannot_schedule_in_the_past(self):
+        scheduler = EventScheduler()
+        scheduler.schedule(Event(time=4.0))
+        scheduler.pop()
+        with pytest.raises(ValueError):
+            scheduler.schedule(Event(time=1.0))
+
+    def test_cancelled_events_are_skipped(self):
+        scheduler = EventScheduler()
+        keep = scheduler.schedule(Event(time=1.0))
+        drop = scheduler.schedule(Event(time=2.0))
+        last = scheduler.schedule(Event(time=3.0))
+        scheduler.cancel(drop)
+        assert list(scheduler) == [keep, last]
+
+    def test_len_and_bool_ignore_cancelled(self):
+        scheduler = EventScheduler()
+        event = scheduler.schedule(Event(time=1.0))
+        assert len(scheduler) == 1 and scheduler
+        scheduler.cancel(event)
+        assert len(scheduler) == 0 and not scheduler
+
+    def test_peek_does_not_pop(self):
+        scheduler = EventScheduler()
+        event = scheduler.schedule(Event(time=1.0))
+        assert scheduler.peek() is event
+        assert scheduler.peek() is event
+        assert scheduler.pop() is event
+        assert scheduler.peek() is None
+
+    def test_run_dispatches_and_allows_rescheduling(self):
+        scheduler = EventScheduler()
+        seen: list[float] = []
+
+        def handler(event: Event) -> None:
+            seen.append(event.time)
+            if event.time < 3.0:
+                scheduler.schedule(Event(time=event.time + 1.0))
+
+        scheduler.schedule(Event(time=1.0))
+        dispatched = scheduler.run(handler)
+        assert seen == [1.0, 2.0, 3.0]
+        assert dispatched == 3
+
+    def test_run_until_horizon(self):
+        scheduler = EventScheduler()
+        scheduler.schedule(Event(time=1.0))
+        scheduler.schedule(Event(time=10.0))
+        seen: list[float] = []
+        scheduler.run(lambda event: seen.append(event.time), until=5.0)
+        assert seen == [1.0]
+        assert len(scheduler) == 1  # the late event stays queued
+
+    def test_uses_external_clock(self):
+        clock = SimulationClock(start=1.0)
+        scheduler = EventScheduler(clock)
+        with pytest.raises(ValueError):
+            scheduler.schedule(Event(time=0.5))
+        scheduler.schedule(Event(time=2.0))
+        scheduler.pop()
+        assert clock.now == 2.0
