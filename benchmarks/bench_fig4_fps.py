@@ -12,7 +12,6 @@ clear dips during training windows.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from benchmarks.conftest import write_result

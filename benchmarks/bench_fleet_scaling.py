@@ -15,6 +15,8 @@ queue, batched teacher inference) and one shared uplink/downlink
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from benchmarks.conftest import write_result
@@ -23,11 +25,14 @@ from repro.eval import format_table, run_fleet
 from repro.network.link import LinkConfig, SharedLink
 from repro.video import build_dataset
 
-FLEET_SIZES = [1, 2, 4, 8]
+#: overridable so the CI smoke job can run a tiny configuration
+FLEET_SIZES = [
+    int(x) for x in os.environ.get("REPRO_BENCH_FLEET_SIZES", "1,2,4,8").split(",")
+]
 DATASET_CYCLE = ["detrac", "kitti", "waymo", "stationary"]
 #: shorter streams than the single-camera tables: the 8-camera point
 #: simulates 8x the frames of a normal run
-FLEET_FRAMES = 600
+FLEET_FRAMES = int(os.environ.get("REPRO_BENCH_FLEET_FRAMES", "600"))
 
 
 def build_cameras(n: int, num_frames: int) -> list[CameraSpec]:
@@ -65,12 +70,16 @@ def test_fleet_scaling(benchmark, student, settings, results_dir):
     write_result(results_dir, "fleet_scaling.txt", table)
 
     by_n = {row["cameras"]: row for row in rows}
-    # the 4-camera fleet (acceptance criterion) ran end-to-end
-    assert by_n[4]["cloud GPU (s)"] > 0
-    # shared resources: upload latency and GPU time grow with fleet size
-    assert by_n[8]["upload latency (s)"] > by_n[1]["upload latency (s)"]
-    assert by_n[8]["cloud GPU (s)"] > by_n[2]["cloud GPU (s)"]
-    # queue delay is monotone-ish: contention at 8 cameras exceeds the solo case
-    assert by_n[8]["queue delay (s)"] >= by_n[1]["queue delay (s)"]
-    # accuracy should not collapse under contention
-    assert by_n[8]["mean mAP@0.5 (%)"] > 0.25 * by_n[1]["mean mAP@0.5 (%)"]
+    # every requested fleet size ran end-to-end
+    for n in FLEET_SIZES:
+        assert by_n[n]["cloud GPU (s)"] > 0
+    # shared-resource scaling claims compare the largest fleet against the
+    # smallest; guarded so reduced smoke configurations stay meaningful
+    lo, hi = min(FLEET_SIZES), max(FLEET_SIZES)
+    if hi > lo:
+        assert by_n[hi]["upload latency (s)"] > by_n[lo]["upload latency (s)"]
+        assert by_n[hi]["cloud GPU (s)"] > by_n[lo]["cloud GPU (s)"]
+        # queue delay is monotone-ish: contention exceeds the lightest case
+        assert by_n[hi]["queue delay (s)"] >= by_n[lo]["queue delay (s)"]
+        # accuracy should not collapse under contention
+        assert by_n[hi]["mean mAP@0.5 (%)"] > 0.25 * by_n[lo]["mean mAP@0.5 (%)"]

@@ -26,8 +26,13 @@ CACHE_DIR = os.path.join(os.path.dirname(__file__), ".cache")
 
 @pytest.fixture(scope="session")
 def settings() -> ExperimentSettings:
-    """Benchmark-scale experiment settings (reduced from the paper's scale)."""
-    return ExperimentSettings(
+    """Benchmark-scale experiment settings (reduced from the paper's scale).
+
+    ``REPRO_*`` environment variables (see
+    :meth:`ExperimentSettings.from_env`) shrink these further for the CI
+    smoke job.
+    """
+    return ExperimentSettings.from_env(
         num_frames=1800,
         eval_stride=3,
         pretrain_images=300,
@@ -40,9 +45,18 @@ def settings() -> ExperimentSettings:
 
 @pytest.fixture(scope="session")
 def student(settings):
-    """Offline pre-trained student shared by every benchmark (disk-cached)."""
+    """Offline pre-trained student shared by every benchmark (disk-cached).
+
+    The cache key includes every setting that shapes pretraining, so a
+    reduced smoke run and a full-scale run never reuse each other's
+    student.
+    """
     os.makedirs(CACHE_DIR, exist_ok=True)
-    cache_path = os.path.join(CACHE_DIR, f"student_seed{settings.seed}.npz")
+    cache_path = os.path.join(
+        CACHE_DIR,
+        f"student_seed{settings.seed}"
+        f"_i{settings.pretrain_images}_e{settings.pretrain_epochs}.npz",
+    )
     return prepare_student(settings, cache_path=cache_path)
 
 

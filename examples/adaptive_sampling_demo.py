@@ -37,7 +37,7 @@ def describe(name: str, result) -> None:
 
 
 def main() -> None:
-    settings = ExperimentSettings(
+    settings = ExperimentSettings.from_env(
         num_frames=1200, eval_stride=4, pretrain_images=200, pretrain_epochs=5
     )
     student = prepare_student(settings)

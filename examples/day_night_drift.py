@@ -61,7 +61,7 @@ def per_domain_map(result) -> dict[str, float]:
 
 
 def main() -> None:
-    settings = ExperimentSettings(
+    settings = ExperimentSettings.from_env(
         num_frames=1500, eval_stride=3, pretrain_images=200, pretrain_epochs=5
     )
     student = prepare_student(settings)

@@ -25,7 +25,7 @@ from repro.video import build_dataset
 
 
 def main() -> None:
-    settings = ExperimentSettings(
+    settings = ExperimentSettings.from_env(
         num_frames=900,        # 30 seconds of 30-fps video per camera
         eval_stride=3,
         pretrain_images=200,

@@ -20,8 +20,9 @@ from repro.video import build_dataset
 
 
 def main() -> None:
-    # Small-scale settings so the example finishes in about a minute on a CPU.
-    settings = ExperimentSettings(
+    # Small-scale settings so the example finishes in about a minute on a
+    # CPU (REPRO_* environment variables shrink them further, e.g. in CI).
+    settings = ExperimentSettings.from_env(
         num_frames=1200,       # 40 seconds of 30-fps video
         eval_stride=3,         # evaluate accuracy on every 3rd frame
         pretrain_images=200,

@@ -23,7 +23,7 @@ from repro.video import build_dataset
 
 
 def main() -> None:
-    settings = ExperimentSettings(
+    settings = ExperimentSettings.from_env(
         num_frames=1500, eval_stride=3, pretrain_images=200, pretrain_epochs=5
     )
     student = prepare_student(settings)

@@ -50,6 +50,17 @@ from repro.core.actors import (
     SessionKernel,
     SharedLinkTransport,
 )
+from repro.core.scheduling import (
+    GpuJob,
+    GpuScheduler,
+    FifoScheduler,
+    StalenessPriorityScheduler,
+    WeightedFairScheduler,
+    AdmissionControlScheduler,
+    SCHEDULERS,
+    build_scheduler,
+    jain_fairness,
+)
 from repro.core.fleet import CameraSpec, FleetCameraResult, FleetResult, FleetSession
 from repro.core.strategies import (
     Strategy,
@@ -89,6 +100,15 @@ __all__ = [
     "InstantTransport",
     "SharedLinkTransport",
     "SessionKernel",
+    "GpuJob",
+    "GpuScheduler",
+    "FifoScheduler",
+    "StalenessPriorityScheduler",
+    "WeightedFairScheduler",
+    "AdmissionControlScheduler",
+    "SCHEDULERS",
+    "build_scheduler",
+    "jain_fairness",
     "CameraSpec",
     "FleetSession",
     "FleetCameraResult",

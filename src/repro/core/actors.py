@@ -10,10 +10,14 @@ two actors driven by the :class:`~repro.runtime.events.EventScheduler`:
   :class:`TrainingDone` and :class:`ModelDownloadComplete` events;
 * :class:`CloudActor` — wraps one (possibly shared)
   :class:`~repro.core.cloud.CloudServer`, owns the typed per-tenant
-  pools of labeled frames awaiting cloud-side training (AMS), the FIFO
-  labeling queue used by fleet sessions, and per-tenant GPU-seconds
-  accounting; it handles :class:`UploadComplete` and
-  :class:`LabelingDone` events.
+  pools of labeled frames awaiting cloud-side training (AMS), the
+  unified GPU job queue used by fleet sessions (labeling uploads *and*
+  cloud-training jobs), and per-tenant GPU-seconds accounting; which
+  queued jobs form each GPU busy period — and whether a job is admitted
+  at all — is decided by a pluggable
+  :class:`~repro.core.scheduling.GpuScheduler` (FIFO by default); the
+  actor handles :class:`UploadComplete` and :class:`LabelingDone`
+  events.
 
 How messages travel between them is a :class:`Transport` policy:
 
@@ -42,6 +46,13 @@ from repro.core.config import ShoggothConfig
 from repro.core.edge import EdgeDevice
 from repro.core.labeling import LabeledFrame
 from repro.core.sampling import SamplingRateController
+from repro.core.scheduling import (
+    LABELING,
+    TRAINING,
+    FifoScheduler,
+    GpuJob,
+    GpuScheduler,
+)
 from repro.core.session import SessionOptions, SessionResult
 from repro.detection.boxes import Detection
 from repro.detection.teacher import TeacherDetector
@@ -74,7 +85,7 @@ import numpy as np
 __all__ = [
     "EdgeActor",
     "CloudActor",
-    "LabelingJob",
+    "GpuJob",
     "InstantTransport",
     "SharedLinkTransport",
     "SessionKernel",
@@ -287,24 +298,6 @@ class SharedLinkTransport:
 # cloud actor
 # ---------------------------------------------------------------------------
 @dataclass
-class LabelingJob:
-    """One upload waiting in (or being served by) the cloud's FIFO queue."""
-
-    actor: "EdgeActor"
-    batch: list[Frame]
-    alpha: float
-    lambda_usage: float
-    arrival: float
-    service_start: float | None = None
-
-    @property
-    def wait_seconds(self) -> float:
-        if self.service_start is None:
-            return 0.0
-        return self.service_start - self.arrival
-
-
-@dataclass
 class _Tenant:
     """Per-camera state the shared cloud keeps."""
 
@@ -325,9 +318,13 @@ class CloudActor:
 
     In instant mode (single-camera facade) every upload is labeled the
     moment it arrives, reproducing the monolithic loop.  In queued mode
-    (fleet) uploads join a FIFO queue and the teacher serves *all*
-    queued jobs as one merged batch per GPU busy period (batched
-    teacher inference), so labeling latency grows with fleet size.
+    (fleet) uploads — and, for schedulers with ``queue_training`` set,
+    AMS cloud-training jobs — join one unified GPU job queue; the
+    pluggable :class:`GpuScheduler` decides which queued jobs form each
+    GPU busy period and whether a job is admitted at all.  The default
+    :class:`FifoScheduler` serves the whole queue as one merged
+    multi-tenant teacher batch (batched teacher inference), exactly the
+    pre-scheduler behaviour.
     """
 
     def __init__(
@@ -336,15 +333,22 @@ class CloudActor:
         transport: InstantTransport | SharedLinkTransport,
         queued: bool = False,
         batch_overhead_seconds: float = 0.02,
+        scheduler: GpuScheduler | None = None,
     ) -> None:
         self.cloud = cloud
         self.transport = transport
         self.queued = queued
         self.batch_overhead_seconds = batch_overhead_seconds
+        self.scheduler = scheduler or FifoScheduler()
         self.tenants: dict[int, _Tenant] = {}
         self.gpu_seconds_by_camera: dict[int, float] = {}
-        self.queue: deque[LabelingJob] = deque()
-        self.completed_jobs: list[LabelingJob] = []
+        self.queue: deque[GpuJob] = deque()
+        #: labeling jobs in completion order (queue-delay statistics)
+        self.completed_jobs: list[GpuJob] = []
+        #: cloud-training jobs in completion order (unified-queue policies)
+        self.completed_training_jobs: list[GpuJob] = []
+        #: uploads the scheduler turned away at the door
+        self.rejected_jobs: list[GpuJob] = []
         self.busy_until = 0.0
         self.busy_seconds = 0.0
 
@@ -357,6 +361,7 @@ class CloudActor:
         use_server_trainer: bool = False,
         seed: int = 0,
         replay_seed: tuple | None = None,
+        weight: float = 1.0,
     ) -> None:
         """Attach one camera; fleet tenants get their own schedule/controller.
 
@@ -381,6 +386,7 @@ class CloudActor:
                 tenant.trainer.seed_replay(*replay_seed)
         self.tenants[actor.camera_id] = tenant
         self.gpu_seconds_by_camera.setdefault(actor.camera_id, 0.0)
+        self.scheduler.register_tenant(actor.camera_id, weight=weight)
 
     # -- accounting ----------------------------------------------------------
     def note_gpu(self, camera_id: int, seconds: float) -> None:
@@ -395,6 +401,19 @@ class CloudActor:
         """Per-job labeling-queue delays (seconds), in completion order."""
         return [job.wait_seconds for job in self.completed_jobs]
 
+    @property
+    def training_waits(self) -> list[float]:
+        """Queue delays of cloud-training jobs (empty under FIFO bypass)."""
+        return [job.wait_seconds for job in self.completed_training_jobs]
+
+    @property
+    def rejections_by_camera(self) -> dict[int, int]:
+        """How many uploads admission control turned away, per tenant."""
+        counts: dict[int, int] = {camera_id: 0 for camera_id in self.tenants}
+        for job in self.rejected_jobs:
+            counts[job.camera_id] = counts.get(job.camera_id, 0) + 1
+        return counts
+
     # -- event handlers -----------------------------------------------------
     def on_upload(self, event: UploadComplete, scheduler: EventScheduler) -> None:
         self.tenants[event.camera_id].actor.upload_latencies.append(
@@ -406,23 +425,41 @@ class CloudActor:
             actor = self.tenants[event.camera_id].actor
             self.transport.send_labels(scheduler, actor, response, event.time)
             return
-        job = LabelingJob(
-            actor=self.tenants[event.camera_id].actor,
+        job = GpuJob(
+            kind=LABELING,
+            camera_id=event.camera_id,
+            arrival=event.time,
+            service_seconds=self.cloud.labeler.gpu_seconds(len(event.batch)),
             batch=event.batch,
             alpha=event.alpha,
             lambda_usage=event.lambda_usage,
-            arrival=event.time,
         )
+        if not self.scheduler.admit(job, self.queue, event.time, self.busy_until):
+            # rejected at the door: no labels flow back, the edge keeps
+            # its stale weights and sampling rate
+            self.rejected_jobs.append(job)
+            return
         self.queue.append(job)
         self._maybe_start_service(event.time, scheduler)
 
     def on_labeling_done(self, event: LabelingDone, scheduler: EventScheduler) -> None:
         for job in event.jobs:
-            response = self._label(
-                job.actor.camera_id, job.batch, job.alpha, job.lambda_usage
-            )
-            self.completed_jobs.append(job)
-            self.transport.send_labels(scheduler, job.actor, response, event.time)
+            actor = self.tenants[job.camera_id].actor
+            if job.kind == LABELING:
+                response = self._label(
+                    job.camera_id, job.batch, job.alpha, job.lambda_usage
+                )
+                self.completed_jobs.append(job)
+                self.transport.send_labels(scheduler, actor, response, event.time)
+            else:  # TRAINING: the fine-tuned weights stream back now
+                self.completed_training_jobs.append(job)
+                update = ModelDownload(
+                    num_parameters=actor.edge.student.num_parameters()
+                )
+                self.transport.send_model(
+                    scheduler, actor, update, job.result.model_state, event.time
+                )
+        self.scheduler.on_served(event.jobs, event.time)
         self._maybe_start_service(event.time, scheduler)
 
     def on_labels_for_training(
@@ -432,15 +469,37 @@ class CloudActor:
         now: float,
         scheduler: EventScheduler,
     ) -> None:
-        """AMS path: pool labels per tenant; train + stream the model back."""
+        """AMS path: pool labels per tenant, then train + stream the model back.
+
+        Under schedulers with ``queue_training`` the filled pool becomes
+        a :class:`GpuJob` competing with labeling uploads for the same
+        GPU; otherwise (FIFO default, and the single-camera instant
+        mode) training runs immediately on spare capacity, which is the
+        pre-scheduler behaviour.
+        """
         tenant = self.tenants[actor.camera_id]
         tenant.pool.extend(labeled)
         if len(tenant.pool) < actor.config.training.train_batch_size:
             return
         pool, tenant.pool = tenant.pool, []
-        result = self._train_tenant(tenant, pool)
-        update = ModelDownload(num_parameters=actor.edge.student.num_parameters())
-        self.transport.send_model(scheduler, actor, update, result.model_state, now)
+        if not (self.queued and self.scheduler.queue_training):
+            result = self._train_tenant(tenant, pool)
+            update = ModelDownload(num_parameters=actor.edge.student.num_parameters())
+            self.transport.send_model(scheduler, actor, update, result.model_state, now)
+            return
+        cfg = actor.config.training
+        estimated_steps = cfg.epochs * max(
+            1, -(-len(pool) // max(1, cfg.minibatch_size))
+        )
+        job = GpuJob(
+            kind=TRAINING,
+            camera_id=actor.camera_id,
+            arrival=now,
+            service_seconds=self.cloud.compute.training_seconds(estimated_steps),
+            pool=pool,
+        )
+        self.queue.append(job)
+        self._maybe_start_service(now, scheduler)
 
     # -- internals ------------------------------------------------------------
     def _label(
@@ -460,16 +519,29 @@ class CloudActor:
         return response
 
     def _maybe_start_service(self, now: float, scheduler: EventScheduler) -> None:
-        """Start serving the whole queue as one merged teacher batch."""
+        """Start the next GPU busy period with the scheduler's pick.
+
+        The scheduler returns the subset of queued jobs to serve as one
+        merged batch; any jobs it leaves behind wait for the next busy
+        period (that is how non-FIFO policies reorder service).
+        Training jobs run their fine-tuning here — the simulation is
+        deterministic either way — but their weights only stream back
+        when the busy period completes.
+        """
         if not self.queue or now + 1e-12 < self.busy_until:
             return
-        jobs = list(self.queue)
-        self.queue.clear()
-        service = self.batch_overhead_seconds + sum(
-            self.cloud.labeler.gpu_seconds(len(job.batch)) for job in jobs
-        )
+        jobs = self.scheduler.select(self.queue, now)
+        if not jobs:
+            return
+        selected = {id(job) for job in jobs}
+        self.queue = deque(job for job in self.queue if id(job) not in selected)
+        service = self.batch_overhead_seconds
         for job in jobs:
             job.service_start = now
+            if job.kind == TRAINING:
+                job.result = self._train_tenant(self.tenants[job.camera_id], job.pool)
+                job.service_seconds = job.result.gpu_seconds
+            service += job.service_seconds
         self.busy_until = now + service
         self.busy_seconds += service
         scheduler.schedule(LabelingDone(time=self.busy_until, jobs=jobs))

@@ -8,11 +8,14 @@ and a *single* processor-sharing
 
 * uploads from different cameras contend for the shared uplink, so
   transfer times stretch with fleet size;
-* labeling requests join a FIFO queue on the cloud GPU and are served
-  as merged multi-tenant teacher batches (batched teacher inference),
-  so labeling latency grows with load;
+* labeling requests — and, for unified-queue policies, AMS
+  cloud-training jobs — join one GPU job queue drained by a pluggable
+  :class:`~repro.core.scheduling.GpuScheduler` (FIFO merged-batch by
+  default; staleness-priority, weighted-fair and admission-control
+  policies ship too), so labeling latency grows with load and the
+  *shape* of that growth is a policy choice;
 * GPU time is accounted per tenant, which is what capacity planning
-  (how many cameras can one V100 serve?) needs.
+  (how many cameras can one V100 serve, and under which policy?) needs.
 
 Every camera still produces a full per-camera
 :class:`~repro.core.session.SessionResult`, plus fleet-level aggregates
@@ -31,12 +34,14 @@ from repro.core.cloud import CloudServer
 from repro.core.config import ShoggothConfig
 from repro.core.edge import EdgeDevice
 from repro.core.sampling import SamplingRateController
+from repro.core.scheduling import GpuScheduler, build_scheduler, jain_fairness
 from repro.core.session import SessionOptions, SessionResult, resolve_session_config
 from repro.core.strategies import build_strategy
 from repro.detection.student import StudentDetector
 from repro.detection.teacher import TeacherDetector
 from repro.network.link import LinkConfig, SharedLink
 from repro.runtime.device import CloudComputeModel, EdgeComputeModel
+from repro.runtime.metrics import reduce_metric
 from repro.runtime.events import EventScheduler
 from repro.video.datasets import DatasetSpec
 from repro.video.encoding import H264Encoder
@@ -47,7 +52,7 @@ __all__ = ["CameraSpec", "FleetCameraResult", "FleetResult", "FleetSession"]
 
 @dataclass(frozen=True)
 class CameraSpec:
-    """One camera of the fleet: its stream, strategy and seeds."""
+    """One camera of the fleet: its stream, strategy, seeds and GPU share."""
 
     name: str
     dataset: DatasetSpec
@@ -55,6 +60,9 @@ class CameraSpec:
     strategy: str | SessionOptions = "shoggoth"
     config: ShoggothConfig | None = None
     seed: int = 0
+    #: relative GPU share under :class:`WeightedFairScheduler` (ignored
+    #: by the other policies)
+    weight: float = 1.0
 
     def resolve_options(self) -> SessionOptions:
         if isinstance(self.strategy, SessionOptions):
@@ -70,12 +78,12 @@ class FleetCameraResult:
     session: SessionResult
     gpu_seconds: float
     upload_latencies: list[float] = field(default_factory=list)
+    #: uploads the cloud scheduler rejected (admission control)
+    rejected_uploads: int = 0
 
     @property
     def mean_upload_latency(self) -> float:
-        if not self.upload_latencies:
-            return 0.0
-        return float(np.mean(self.upload_latencies))
+        return reduce_metric(self.upload_latencies)
 
 
 @dataclass(frozen=True)
@@ -89,6 +97,10 @@ class FleetResult:
     duration_seconds: float
     num_labeling_batches: int
     gpu_seconds_by_camera: dict[str, float]
+    #: which GPU scheduling policy served the fleet
+    scheduler: str = "fifo"
+    #: queue delays of AMS cloud-training jobs (empty under FIFO bypass)
+    training_waits: list[float] = field(default_factory=list)
 
     @property
     def num_cameras(self) -> int:
@@ -96,15 +108,28 @@ class FleetResult:
 
     @property
     def mean_queue_delay(self) -> float:
-        if not self.queue_waits:
-            return 0.0
-        return float(np.mean(self.queue_waits))
+        return reduce_metric(self.queue_waits)
 
     @property
     def max_queue_delay(self) -> float:
-        if not self.queue_waits:
-            return 0.0
-        return float(np.max(self.queue_waits))
+        return reduce_metric(self.queue_waits, reducer=np.max)
+
+    @property
+    def mean_training_wait(self) -> float:
+        return reduce_metric(self.training_waits)
+
+    @property
+    def rejected_by_camera(self) -> dict[str, int]:
+        return {entry.camera: entry.rejected_uploads for entry in self.cameras}
+
+    @property
+    def num_rejected_uploads(self) -> int:
+        return sum(self.rejected_by_camera.values())
+
+    @property
+    def gpu_fairness(self) -> float:
+        """Jain's index over per-tenant GPU-seconds (1.0 = perfectly even)."""
+        return jain_fairness(self.gpu_seconds_by_camera.values())
 
     @property
     def cloud_utilization(self) -> float:
@@ -126,7 +151,11 @@ class FleetSession:
     Each camera starts from a fresh clone of the pre-trained student and
     resolves its own strategy/config exactly as a standalone
     :class:`CollaborativeSession` would; only the *resources* (teacher
-    GPU, uplink/downlink) are shared.
+    GPU, uplink/downlink) are shared.  ``scheduler`` picks the GPU
+    sharing policy — a :class:`GpuScheduler` instance or a registered
+    policy name (``"fifo"``, ``"staleness"``, ``"weighted_fair"``,
+    ``"admission"``); the default FIFO policy reproduces the
+    pre-scheduler fleet behaviour exactly.
     """
 
     def __init__(
@@ -141,13 +170,17 @@ class FleetSession:
         cloud_compute: CloudComputeModel | None = None,
         replay_seed: tuple | None = None,
         batch_overhead_seconds: float = 0.02,
+        scheduler: GpuScheduler | str | None = None,
     ) -> None:
         if not cameras:
             raise ValueError("a fleet needs at least one camera")
         names = [spec.name for spec in cameras]
         if len(set(names)) != len(names):
             raise ValueError("camera names must be unique")
+        if any(spec.weight <= 0 for spec in cameras):
+            raise ValueError("camera weights must be positive")
         self.cameras = list(cameras)
+        self.scheduler = build_scheduler(scheduler)
         self.student = student
         self.teacher = teacher
         self.config = config or ShoggothConfig()
@@ -209,6 +242,7 @@ class FleetSession:
             controller=SamplingRateController(cfg.sampling),
             seed=spec.seed,
             replay_seed=self.replay_seed,
+            weight=spec.weight,
         )
         return actor, stream
 
@@ -221,6 +255,9 @@ class FleetSession:
                 "accumulate state); construct a new session"
             )
         self._ran = True
+        # a reused scheduler instance must not carry clocks/deficits from
+        # a previous fleet into this one
+        self.scheduler.reset()
         scheduler = EventScheduler()
         transport = SharedLinkTransport(self.link)
         cloud_actor = CloudActor(
@@ -228,6 +265,7 @@ class FleetSession:
             transport,
             queued=True,
             batch_overhead_seconds=self.batch_overhead_seconds,
+            scheduler=self.scheduler,
         )
         edge_actors: dict[int, EdgeActor] = {}
         streams = {}
@@ -250,6 +288,7 @@ class FleetSession:
         )
         camera_results = []
         gpu_by_name: dict[str, float] = {}
+        rejections = cloud_actor.rejections_by_camera
         for camera_id, spec in enumerate(self.cameras):
             actor = edge_actors[camera_id]
             gpu = cloud_actor.gpu_seconds_by_camera.get(camera_id, 0.0)
@@ -260,6 +299,7 @@ class FleetSession:
                     session=actor.build_result(cloud_gpu_seconds=gpu),
                     gpu_seconds=gpu,
                     upload_latencies=list(actor.upload_latencies),
+                    rejected_uploads=rejections.get(camera_id, 0),
                 )
             )
         return FleetResult(
@@ -270,6 +310,8 @@ class FleetSession:
             duration_seconds=duration,
             num_labeling_batches=self._merged_batches(cloud_actor),
             gpu_seconds_by_camera=gpu_by_name,
+            scheduler=self.scheduler.name,
+            training_waits=cloud_actor.training_waits,
         )
 
     @staticmethod

@@ -1,0 +1,331 @@
+"""Pluggable cloud GPU scheduling for multi-camera fleets.
+
+PR 1 gave the fleet a single shared teacher GPU with a strictly-FIFO
+labeling queue, and cloud-side fine-tuning (AMS) bypassed that queue
+entirely.  This module turns the policy into a first-class,
+swappable component: the :class:`~repro.core.actors.CloudActor` keeps
+one *unified* queue of :class:`GpuJob` entries — labeling uploads and
+AMS cloud-training sessions alike — and delegates three decisions to a
+:class:`GpuScheduler`:
+
+* **admission** (:meth:`GpuScheduler.admit`) — may this job join the
+  queue at all, given the current backlog?
+* **selection** (:meth:`GpuScheduler.select`) — when the GPU frees up,
+  which queued jobs form the next busy period?
+* **accounting** (:meth:`GpuScheduler.on_served`) — observe what was
+  served so stateful policies (fair-share deficits, staleness clocks)
+  can update themselves.
+
+Four policies ship:
+
+* :class:`FifoScheduler` — the PR 1 behaviour and the default: every
+  queued upload is served as one merged multi-tenant teacher batch,
+  and training jobs run immediately on spare capacity
+  (``queue_training = False``), which is exactly what the fleet did
+  before this module existed.  The regression test in
+  ``tests/core/test_scheduling.py`` pins this equivalence.
+* :class:`StalenessPriorityScheduler` — serve the camera whose student
+  has gone longest without a label batch.  Under contention this
+  bounds the *worst* per-camera model staleness instead of the mean.
+* :class:`WeightedFairScheduler` — deficit-based weighted fair
+  sharing of GPU-seconds: always serve the tenant with the smallest
+  weight-normalised GPU consumption, so a heavy tenant (e.g. an AMS
+  camera that also trains in the cloud) cannot starve light ones.
+* :class:`AdmissionControlScheduler` — FIFO service order, but uploads
+  whose projected queue delay exceeds a budget are rejected outright;
+  the edge simply keeps its stale weights and sampling rate.  Trades
+  label freshness *coverage* for a hard latency guarantee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+__all__ = [
+    "LABELING",
+    "TRAINING",
+    "GpuJob",
+    "GpuScheduler",
+    "FifoScheduler",
+    "StalenessPriorityScheduler",
+    "WeightedFairScheduler",
+    "AdmissionControlScheduler",
+    "SCHEDULERS",
+    "build_scheduler",
+    "jain_fairness",
+]
+
+#: job kinds flowing through the unified GPU queue
+LABELING = "labeling"
+TRAINING = "training"
+
+
+@dataclass
+class GpuJob:
+    """One unit of work waiting for (or being served by) the cloud GPU.
+
+    Labeling jobs carry the uploaded ``batch`` plus the edge-reported
+    α/λ signals; training jobs carry the ``pool`` of labeled frames to
+    fine-tune on.  ``service_seconds`` is the job's GPU cost: exact for
+    labeling, a step-count estimate for queued training jobs (no
+    shipped policy reads it before service, but it is kept meaningful
+    for cost-aware policies such as shortest-job-first), replaced by
+    the measured cost when the busy period starts.
+    """
+
+    kind: str
+    camera_id: int
+    arrival: float
+    service_seconds: float
+    #: labeling payload
+    batch: list = field(default_factory=list)
+    alpha: float = 0.0
+    lambda_usage: float = 0.0
+    #: training payload (labeled frames pooled per tenant)
+    pool: list = field(default_factory=list)
+    service_start: float | None = None
+    #: stashed :class:`~repro.core.cloud.CloudTrainingResult` for
+    #: training jobs, filled in when the busy period starts
+    result: Any = None
+
+    @property
+    def wait_seconds(self) -> float:
+        if self.service_start is None:
+            return 0.0
+        return self.service_start - self.arrival
+
+
+class GpuScheduler:
+    """Policy interface the :class:`~repro.core.actors.CloudActor` drains.
+
+    Subclasses override :meth:`select` (mandatory) and optionally
+    :meth:`admit` / :meth:`on_served` / :meth:`register_tenant`.  The
+    contract for :meth:`select`: return a non-empty subset of ``queue``
+    to serve as one GPU busy period; the caller removes the returned
+    jobs from the queue and schedules their completion.
+    """
+
+    name: str = "base"
+    #: whether AMS cloud-training jobs occupy the queued GPU.  ``False``
+    #: reproduces the PR 1 semantics where training ran instantly on
+    #: spare capacity and only labeling queued.
+    queue_training: bool = True
+
+    def __init__(self) -> None:
+        self.weights: dict[int, float] = {}
+
+    def register_tenant(self, camera_id: int, weight: float = 1.0) -> None:
+        if weight <= 0:
+            raise ValueError(f"tenant weight must be positive, got {weight}")
+        self.weights[camera_id] = weight
+
+    def reset(self) -> None:
+        """Clear per-run state so one instance can serve successive fleets.
+
+        :meth:`FleetSession.run` calls this before registering tenants;
+        stateful subclasses must clear their clocks/deficits too (and
+        call ``super().reset()``).
+        """
+        self.weights.clear()
+
+    # -- policy hooks -------------------------------------------------------
+    def admit(
+        self,
+        job: GpuJob,
+        queue: Sequence[GpuJob],
+        now: float,
+        busy_until: float,
+    ) -> bool:
+        """Whether ``job`` may join the queue (default: always)."""
+        return True
+
+    def select(self, queue: Sequence[GpuJob], now: float) -> list[GpuJob]:
+        """Pick the jobs forming the next busy period (GPU is idle)."""
+        raise NotImplementedError
+
+    def on_served(self, jobs: Sequence[GpuJob], completion: float) -> None:
+        """Observe a finished busy period (for stateful policies)."""
+
+    # -- shared helpers -----------------------------------------------------
+    @staticmethod
+    def _jobs_by_camera(queue: Sequence[GpuJob]) -> dict[int, list[GpuJob]]:
+        grouped: dict[int, list[GpuJob]] = {}
+        for job in queue:
+            grouped.setdefault(job.camera_id, []).append(job)
+        return grouped
+
+
+class FifoScheduler(GpuScheduler):
+    """PR 1 behaviour (the default): merge the whole queue per busy period.
+
+    Every queued upload is served as one multi-tenant teacher batch in
+    arrival order, and cloud-training jobs do *not* occupy the queued
+    GPU — they run the instant their label pool fills, exactly as
+    before the scheduler subsystem existed.
+    """
+
+    name = "fifo"
+    queue_training = False
+
+    def select(self, queue: Sequence[GpuJob], now: float) -> list[GpuJob]:
+        return list(queue)
+
+
+class StalenessPriorityScheduler(GpuScheduler):
+    """Serve the camera whose student has drifted longest unserved.
+
+    Staleness of a tenant is the time since its last label batch
+    completed (session start for never-served tenants).  Each busy
+    period serves *all* queued jobs of the single most-stale tenant,
+    so under saturation the scheduler round-robins in
+    longest-starved-first order and bounds worst-case staleness.
+    """
+
+    name = "staleness"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._last_labeled: dict[int, float] = {}
+
+    def reset(self) -> None:
+        super().reset()
+        self._last_labeled.clear()
+
+    def staleness(self, camera_id: int, now: float) -> float:
+        return now - self._last_labeled.get(camera_id, 0.0)
+
+    def select(self, queue: Sequence[GpuJob], now: float) -> list[GpuJob]:
+        grouped = self._jobs_by_camera(queue)
+        if not grouped:
+            return []
+        chosen = min(
+            grouped,
+            key=lambda cam: (-self.staleness(cam, now), grouped[cam][0].arrival, cam),
+        )
+        return list(grouped[chosen])
+
+    def on_served(self, jobs: Sequence[GpuJob], completion: float) -> None:
+        for job in jobs:
+            if job.kind == LABELING:
+                self._last_labeled[job.camera_id] = completion
+
+
+class WeightedFairScheduler(GpuScheduler):
+    """Deficit-based weighted fair sharing of GPU-seconds.
+
+    Each tenant accumulates the GPU-seconds it has consumed; the next
+    busy period goes to the queued tenant with the smallest
+    weight-normalised consumption.  With equal weights and sustained
+    demand the per-tenant GPU-seconds spread stays bounded by one busy
+    period's service time; unequal weights tilt capacity accordingly.
+    """
+
+    name = "weighted_fair"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.consumed: dict[int, float] = {}
+
+    def reset(self) -> None:
+        super().reset()
+        self.consumed.clear()
+
+    def normalized_consumption(self, camera_id: int) -> float:
+        return self.consumed.get(camera_id, 0.0) / self.weights.get(camera_id, 1.0)
+
+    def select(self, queue: Sequence[GpuJob], now: float) -> list[GpuJob]:
+        grouped = self._jobs_by_camera(queue)
+        if not grouped:
+            return []
+        chosen = min(
+            grouped,
+            key=lambda cam: (
+                self.normalized_consumption(cam),
+                grouped[cam][0].arrival,
+                cam,
+            ),
+        )
+        return list(grouped[chosen])
+
+    def on_served(self, jobs: Sequence[GpuJob], completion: float) -> None:
+        for job in jobs:
+            self.consumed[job.camera_id] = (
+                self.consumed.get(job.camera_id, 0.0) + job.service_seconds
+            )
+
+
+class AdmissionControlScheduler(GpuScheduler):
+    """FIFO service with a hard queue-delay budget at the door.
+
+    An upload is rejected when the projected wait — the residual busy
+    time of the period running when it arrives — exceeds
+    ``delay_budget_seconds``.  A rejected upload is simply dropped: no
+    labels flow back, so the edge keeps its stale weights and sampling
+    rate until a later upload is admitted.  Because admitted jobs are
+    served whole-queue FIFO, the actual wait of every admitted job is
+    bounded by the budget, which the policy tests assert.
+
+    Training jobs are always admitted (rejecting them would silently
+    discard labeled frames the tenant already paid bandwidth for).
+    """
+
+    name = "admission"
+
+    def __init__(self, delay_budget_seconds: float = 0.25) -> None:
+        super().__init__()
+        if delay_budget_seconds <= 0:
+            raise ValueError("delay_budget_seconds must be positive")
+        self.delay_budget_seconds = delay_budget_seconds
+
+    def admit(
+        self,
+        job: GpuJob,
+        queue: Sequence[GpuJob],
+        now: float,
+        busy_until: float,
+    ) -> bool:
+        if job.kind != LABELING:
+            return True
+        projected_wait = max(0.0, busy_until - now)
+        return projected_wait <= self.delay_budget_seconds + 1e-9
+
+    def select(self, queue: Sequence[GpuJob], now: float) -> list[GpuJob]:
+        return list(queue)
+
+
+#: registry threaded through ``FleetSession(scheduler=...)`` and
+#: ``run_fleet(scheduler=...)``
+SCHEDULERS: dict[str, type[GpuScheduler]] = {
+    FifoScheduler.name: FifoScheduler,
+    StalenessPriorityScheduler.name: StalenessPriorityScheduler,
+    WeightedFairScheduler.name: WeightedFairScheduler,
+    AdmissionControlScheduler.name: AdmissionControlScheduler,
+}
+
+
+def build_scheduler(
+    scheduler: GpuScheduler | str | None, **kwargs: Any
+) -> GpuScheduler:
+    """Resolve a scheduler instance from a policy name (or pass one through)."""
+    if scheduler is None:
+        return FifoScheduler()
+    if isinstance(scheduler, GpuScheduler):
+        if kwargs:
+            raise ValueError("keyword options only apply when building by name")
+        return scheduler
+    try:
+        factory = SCHEDULERS[scheduler]
+    except KeyError:
+        known = ", ".join(sorted(SCHEDULERS))
+        raise ValueError(f"unknown scheduler {scheduler!r} (known: {known})") from None
+    return factory(**kwargs)
+
+
+def jain_fairness(values: Iterable[float]) -> float:
+    """Jain's fairness index over per-tenant allocations (1.0 = equal)."""
+    vals = [float(v) for v in values]
+    total = sum(vals)
+    if not vals or total <= 0:
+        return 1.0
+    return total * total / (len(vals) * sum(v * v for v in vals))

@@ -5,7 +5,12 @@ each of the paper's tables and figures corresponds to one entry point here so
 the same experiments can be reproduced from a notebook, a script or pytest.
 """
 
-from repro.eval.results import StrategyRunResult, format_table, format_comparison_table
+from repro.eval.results import (
+    StrategyRunResult,
+    format_table,
+    format_comparison_table,
+    reduce_metric,
+)
 from repro.eval.runner import (
     prepare_student,
     run_strategy,
@@ -20,6 +25,7 @@ __all__ = [
     "StrategyRunResult",
     "format_table",
     "format_comparison_table",
+    "reduce_metric",
     "prepare_student",
     "run_strategy",
     "run_fleet",

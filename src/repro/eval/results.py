@@ -9,7 +9,14 @@ import numpy as np
 from repro.core.session import SessionResult
 from repro.detection.metrics import MAPResult
 
-__all__ = ["StrategyRunResult", "format_table", "format_comparison_table"]
+from repro.runtime.metrics import reduce_metric
+
+__all__ = [
+    "StrategyRunResult",
+    "reduce_metric",
+    "format_table",
+    "format_comparison_table",
+]
 
 
 @dataclass(frozen=True)

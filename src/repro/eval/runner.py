@@ -5,10 +5,9 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.core.config import ShoggothConfig
 from repro.core.fleet import CameraSpec, FleetResult, FleetSession
+from repro.core.scheduling import GpuScheduler
 from repro.core.session import SessionResult
 from repro.core.strategies import Strategy, build_strategy
 from repro.detection.metrics import (
@@ -20,6 +19,7 @@ from repro.detection.pretrain import generate_offline_dataset, pretrain_student
 from repro.detection.student import StudentConfig, StudentDetector
 from repro.detection.teacher import TeacherConfig, TeacherDetector
 from repro.eval.results import StrategyRunResult
+from repro.runtime.metrics import reduce_metric
 from repro.network.link import LinkConfig, SharedLink
 from repro.video.datasets import DatasetSpec
 
@@ -60,6 +60,31 @@ class ExperimentSettings:
 
     def shoggoth_config(self) -> ShoggothConfig:
         return ShoggothConfig(eval_stride=self.eval_stride)
+
+    @classmethod
+    def from_env(cls, **overrides) -> "ExperimentSettings":
+        """Build settings honouring ``REPRO_*`` environment overrides.
+
+        The CI smoke job runs every example and benchmark at a tiny
+        scale by exporting e.g. ``REPRO_NUM_FRAMES=120``; locally the
+        scripts keep their documented defaults.  Recognised variables:
+        ``REPRO_NUM_FRAMES``, ``REPRO_EVAL_STRIDE``,
+        ``REPRO_PRETRAIN_IMAGES``, ``REPRO_PRETRAIN_EPOCHS``,
+        ``REPRO_REPLAY_SEED_IMAGES``, ``REPRO_SEED``.
+        """
+        env_fields = (
+            "num_frames",
+            "eval_stride",
+            "pretrain_images",
+            "pretrain_epochs",
+            "replay_seed_images",
+            "seed",
+        )
+        for name in env_fields:
+            raw = os.environ.get(f"REPRO_{name.upper()}")
+            if raw is not None:
+                overrides[name] = int(raw)
+        return cls(**overrides)
 
 
 def prepare_student(
@@ -166,33 +191,32 @@ class FleetRunResult:
 
     @property
     def mean_map50(self) -> float:
-        if not self.per_camera:
-            return 0.0
-        return float(np.mean([r.map50 for r in self.per_camera.values()]))
+        return reduce_metric(r.map50 for r in self.per_camera.values())
 
     @property
     def mean_fps(self) -> float:
-        if not self.per_camera:
-            return 0.0
-        return float(np.mean([r.average_fps for r in self.per_camera.values()]))
+        return reduce_metric(r.average_fps for r in self.per_camera.values())
 
     @property
     def mean_upload_latency(self) -> float:
-        latencies = [lat for c in self.fleet.cameras for lat in c.upload_latencies]
-        if not latencies:
-            return 0.0
-        return float(np.mean(latencies))
+        return reduce_metric(
+            lat for c in self.fleet.cameras for lat in c.upload_latencies
+        )
 
     def row(self) -> dict[str, float | str]:
-        """Flat summary row for fleet-scaling tables."""
+        """Flat summary row for fleet-scaling and scheduler-policy tables."""
         return {
+            "policy": self.fleet.scheduler,
             "cameras": self.num_cameras,
             "mean mAP@0.5 (%)": round(100.0 * self.mean_map50, 1),
             "mean FPS": round(self.mean_fps, 1),
             "queue delay (s)": round(self.fleet.mean_queue_delay, 3),
+            "max delay (s)": round(self.fleet.max_queue_delay, 3),
             "upload latency (s)": round(self.mean_upload_latency, 3),
             "cloud GPU (s)": round(self.fleet.cloud_gpu_seconds, 1),
             "cloud util": round(self.fleet.cloud_utilization, 3),
+            "GPU fairness": round(self.fleet.gpu_fairness, 3),
+            "rejected": self.fleet.num_rejected_uploads,
         }
 
 
@@ -205,14 +229,17 @@ def run_fleet(
     link: SharedLink | None = None,
     link_config: LinkConfig | None = None,
     batch_overhead_seconds: float = 0.02,
+    scheduler: GpuScheduler | str | None = None,
 ) -> FleetRunResult:
     """Run N cameras against one shared cloud/link and score each stream.
 
     Every camera starts from a fresh clone of ``student``; the fleet
-    shares one teacher GPU (FIFO labeling queue) and one
-    processor-sharing link, so the per-camera metrics degrade as the
-    fleet grows — the scaling behaviour
-    ``benchmarks/bench_fleet_scaling.py`` measures.
+    shares one teacher GPU and one processor-sharing link, so the
+    per-camera metrics degrade as the fleet grows — the scaling
+    behaviour ``benchmarks/bench_fleet_scaling.py`` measures.  How the
+    GPU is shared is the ``scheduler`` policy (FIFO merged-batch by
+    default; see :mod:`repro.core.scheduling`), which
+    ``benchmarks/bench_scheduler_policies.py`` compares.
     """
     settings = settings or ExperimentSettings()
     teacher = TeacherDetector(teacher_config or TeacherConfig(seed=settings.seed + 7))
@@ -232,6 +259,7 @@ def run_fleet(
         link_config=link_config,
         replay_seed=replay_seed,
         batch_overhead_seconds=batch_overhead_seconds,
+        scheduler=scheduler,
     )
     outcome = fleet.run()
     per_camera = {

@@ -97,11 +97,11 @@ class UploadComplete(Event):
 
 @dataclass
 class LabelingDone(Event):
-    """The cloud GPU finished a (possibly multi-tenant) labeling batch.
+    """The cloud GPU finished a (possibly multi-tenant) busy period.
 
-    Internal to the fleet's FIFO labeling queue; carries the jobs that
-    were served together so per-tenant accounting can split the GPU
-    time.
+    Internal to the fleet's unified GPU job queue; carries the jobs
+    (labeling uploads and/or cloud-training sessions) that were served
+    together so per-tenant accounting can split the GPU time.
     """
 
     jobs: list = field(default_factory=list)

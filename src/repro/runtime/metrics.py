@@ -1,0 +1,21 @@
+"""Small numeric helpers shared across the runtime/core/eval layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["reduce_metric"]
+
+
+def reduce_metric(values, reducer=np.mean, default: float = 0.0) -> float:
+    """Empty-safe scalar reduction over a metric sequence.
+
+    Fleet aggregates (mean upload latency, mean/max queue delay, mean
+    per-camera scores, ...) all need the same guard: an empty sequence —
+    no uploads happened, nothing queued — reduces to ``default`` instead
+    of tripping numpy's empty-slice warnings.
+    """
+    seq = list(values)
+    if not seq:
+        return float(default)
+    return float(reducer(seq))

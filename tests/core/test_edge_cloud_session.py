@@ -7,7 +7,6 @@ collaborative pipeline.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core import (

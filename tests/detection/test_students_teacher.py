@@ -16,7 +16,7 @@ from repro.detection import (
     pretrain_student,
 )
 from repro.detection.grid import CELL_CHANNELS
-from repro.video import DAY_SUNNY, NIGHT, GroundTruthBox, Scene, SceneConfig, FrameRenderer, RenderConfig
+from repro.video import DAY_SUNNY, NIGHT, GroundTruthBox, FrameRenderer, RenderConfig
 from repro.video.stream import Frame
 
 

@@ -5,7 +5,6 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.detection import StudentConfig, StudentDetector
 from repro.eval import (
     ExperimentSettings,
     cdf_points,
