@@ -57,10 +57,19 @@ from repro.core.scheduling import (
     StalenessPriorityScheduler,
     WeightedFairScheduler,
     AdmissionControlScheduler,
+    DriftAwareScheduler,
     SCHEDULERS,
     build_scheduler,
+    PlacementPolicy,
+    RoundRobinPlacement,
+    LeastLoadedPlacement,
+    StickyPlacement,
+    PowerOfTwoPlacement,
+    PLACEMENTS,
+    build_placement,
     jain_fairness,
 )
+from repro.core.cluster import CloudCluster
 from repro.core.fleet import CameraSpec, FleetCameraResult, FleetResult, FleetSession
 from repro.core.strategies import (
     Strategy,
@@ -106,9 +115,18 @@ __all__ = [
     "StalenessPriorityScheduler",
     "WeightedFairScheduler",
     "AdmissionControlScheduler",
+    "DriftAwareScheduler",
     "SCHEDULERS",
     "build_scheduler",
+    "PlacementPolicy",
+    "RoundRobinPlacement",
+    "LeastLoadedPlacement",
+    "StickyPlacement",
+    "PowerOfTwoPlacement",
+    "PLACEMENTS",
+    "build_placement",
     "jain_fairness",
+    "CloudCluster",
     "CameraSpec",
     "FleetSession",
     "FleetCameraResult",

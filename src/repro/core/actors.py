@@ -38,7 +38,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Callable, Iterator
 
 from repro.core.adaptive_training import AdaptiveTrainer
 from repro.core.cloud import CloudServer, CloudTrainingResult, LabelingResponse
@@ -325,6 +325,13 @@ class CloudActor:
     :class:`FifoScheduler` serves the whole queue as one merged
     multi-tenant teacher batch (batched teacher inference), exactly the
     pre-scheduler behaviour.
+
+    A sharded cloud (:class:`~repro.core.cluster.CloudCluster`) runs N
+    of these actors as GPU workers: each keeps its own queue, scheduler
+    and busy clock but shares the tenant registry and the per-tenant
+    GPU accounting dicts the cluster passes in, and stamps its
+    ``worker_id`` onto the :class:`LabelingDone` events it schedules so
+    completions route back to the right worker.
     """
 
     def __init__(
@@ -334,14 +341,31 @@ class CloudActor:
         queued: bool = False,
         batch_overhead_seconds: float = 0.02,
         scheduler: GpuScheduler | None = None,
+        worker_id: int = 0,
+        tenants: dict[int, "_Tenant"] | None = None,
+        gpu_seconds_by_camera: dict[int, float] | None = None,
+        label_observer: "Callable[[int, float, float], None] | None" = None,
     ) -> None:
         self.cloud = cloud
         self.transport = transport
         self.queued = queued
         self.batch_overhead_seconds = batch_overhead_seconds
         self.scheduler = scheduler or FifoScheduler()
-        self.tenants: dict[int, _Tenant] = {}
-        self.gpu_seconds_by_camera: dict[int, float] = {}
+        #: which GPU of a sharded cloud this actor is (0 standalone);
+        #: stamped onto the :class:`LabelingDone` events it schedules
+        self.worker_id = worker_id
+        #: tenant registry and per-tenant GPU accounting — a
+        #: :class:`~repro.core.cluster.CloudCluster` passes shared dicts
+        #: so its workers see one registry and one set of totals
+        self.tenants: dict[int, _Tenant] = tenants if tenants is not None else {}
+        self.gpu_seconds_by_camera: dict[int, float] = (
+            gpu_seconds_by_camera if gpu_seconds_by_camera is not None else {}
+        )
+        #: where measured φ signals go — defaults to this worker's own
+        #: scheduler; a cluster installs a broadcast so *every* shard's
+        #: φ-aware scheduler sees every measurement (φ is a property of
+        #: the camera, not of the worker that happened to label it)
+        self.label_observer = label_observer or self.scheduler.on_labeled
         self.queue: deque[GpuJob] = deque()
         #: labeling jobs in completion order (queue-delay statistics)
         self.completed_jobs: list[GpuJob] = []
@@ -415,17 +439,9 @@ class CloudActor:
         return counts
 
     # -- event handlers -----------------------------------------------------
-    def on_upload(self, event: UploadComplete, scheduler: EventScheduler) -> None:
-        self.tenants[event.camera_id].actor.upload_latencies.append(
-            event.time - event.sent_at
-        )
-        if not self.queued:
-            response = self._label(event.camera_id, event.batch, event.alpha,
-                                   event.lambda_usage)
-            actor = self.tenants[event.camera_id].actor
-            self.transport.send_labels(scheduler, actor, response, event.time)
-            return
-        job = GpuJob(
+    def make_labeling_job(self, event: UploadComplete) -> GpuJob:
+        """Wrap an arrived upload into a labeling :class:`GpuJob`."""
+        return GpuJob(
             kind=LABELING,
             camera_id=event.camera_id,
             arrival=event.time,
@@ -434,20 +450,60 @@ class CloudActor:
             alpha=event.alpha,
             lambda_usage=event.lambda_usage,
         )
-        if not self.scheduler.admit(job, self.queue, event.time, self.busy_until):
+
+    def enqueue_labeling(
+        self, job: GpuJob, now: float, scheduler: EventScheduler
+    ) -> bool:
+        """Admit a labeling job to this worker's queue; False = rejected."""
+        if not self.scheduler.admit(job, self.queue, now, self.busy_until):
             # rejected at the door: no labels flow back, the edge keeps
             # its stale weights and sampling rate
             self.rejected_jobs.append(job)
-            return
+            return False
+        job.worker_id = self.worker_id
         self.queue.append(job)
-        self._maybe_start_service(event.time, scheduler)
+        self._maybe_start_service(now, scheduler)
+        return True
+
+    def enqueue_training(
+        self, job: GpuJob, now: float, scheduler: EventScheduler
+    ) -> None:
+        """Queue a cloud-training job (never rejected: the labels are paid for)."""
+        job.worker_id = self.worker_id
+        self.queue.append(job)
+        self._maybe_start_service(now, scheduler)
+
+    def on_upload(
+        self,
+        event: UploadComplete,
+        scheduler: EventScheduler,
+        enqueue: "Callable[[GpuJob, float, EventScheduler], object] | None" = None,
+    ) -> None:
+        """Handle an arrived upload: label instantly, or queue the job.
+
+        ``enqueue`` overrides where the job queues (default: this
+        worker) — a cluster passes its placement hook here so the
+        single-GPU and sharded clouds share one control flow.
+        """
+        self.tenants[event.camera_id].actor.upload_latencies.append(
+            event.time - event.sent_at
+        )
+        if not self.queued:
+            response = self._label(event.camera_id, event.batch, event.alpha,
+                                   event.lambda_usage, event.time)
+            actor = self.tenants[event.camera_id].actor
+            self.transport.send_labels(scheduler, actor, response, event.time)
+            return
+        enqueue = enqueue or self.enqueue_labeling
+        enqueue(self.make_labeling_job(event), event.time, scheduler)
 
     def on_labeling_done(self, event: LabelingDone, scheduler: EventScheduler) -> None:
         for job in event.jobs:
+            job.completion = event.time
             actor = self.tenants[job.camera_id].actor
             if job.kind == LABELING:
                 response = self._label(
-                    job.camera_id, job.batch, job.alpha, job.lambda_usage
+                    job.camera_id, job.batch, job.alpha, job.lambda_usage, event.time
                 )
                 self.completed_jobs.append(job)
                 self.transport.send_labels(scheduler, actor, response, event.time)
@@ -468,6 +524,7 @@ class CloudActor:
         labeled: list[LabeledFrame],
         now: float,
         scheduler: EventScheduler,
+        enqueue: "Callable[[GpuJob, float, EventScheduler], object] | None" = None,
     ) -> None:
         """AMS path: pool labels per tenant, then train + stream the model back.
 
@@ -475,35 +532,71 @@ class CloudActor:
         a :class:`GpuJob` competing with labeling uploads for the same
         GPU; otherwise (FIFO default, and the single-camera instant
         mode) training runs immediately on spare capacity, which is the
-        pre-scheduler behaviour.
+        pre-scheduler behaviour.  ``enqueue`` overrides where a queued
+        training job lands (a cluster passes its placement hook).
+        """
+        pool = self.pool_labels(actor, labeled)
+        if pool is None:
+            return
+        if not (self.queued and self.scheduler.queue_training):
+            self.train_now(actor, pool, now, scheduler)
+            return
+        enqueue = enqueue or self.enqueue_training
+        enqueue(self.make_training_job(actor, pool, now), now, scheduler)
+
+    def pool_labels(
+        self, actor: "EdgeActor", labeled: list[LabeledFrame]
+    ) -> list[LabeledFrame] | None:
+        """Pool labels for the tenant; return the pool once it fills.
+
+        Tenant-level seam: touches only the (possibly cluster-shared)
+        tenant registry — never this worker's queue or busy clock — so
+        a :class:`~repro.core.cluster.CloudCluster` may call it on any
+        worker.  The same contract holds for :meth:`train_now` and
+        :meth:`make_training_job`.
         """
         tenant = self.tenants[actor.camera_id]
         tenant.pool.extend(labeled)
         if len(tenant.pool) < actor.config.training.train_batch_size:
-            return
+            return None
         pool, tenant.pool = tenant.pool, []
-        if not (self.queued and self.scheduler.queue_training):
-            result = self._train_tenant(tenant, pool)
-            update = ModelDownload(num_parameters=actor.edge.student.num_parameters())
-            self.transport.send_model(scheduler, actor, update, result.model_state, now)
-            return
+        return pool
+
+    def train_now(
+        self,
+        actor: "EdgeActor",
+        pool: list[LabeledFrame],
+        now: float,
+        scheduler: EventScheduler,
+    ) -> None:
+        """Fine-tune immediately on spare capacity (the FIFO bypass)."""
+        result = self._train_tenant(self.tenants[actor.camera_id], pool)
+        update = ModelDownload(num_parameters=actor.edge.student.num_parameters())
+        self.transport.send_model(scheduler, actor, update, result.model_state, now)
+
+    def make_training_job(
+        self, actor: "EdgeActor", pool: list[LabeledFrame], now: float
+    ) -> GpuJob:
         cfg = actor.config.training
         estimated_steps = cfg.epochs * max(
             1, -(-len(pool) // max(1, cfg.minibatch_size))
         )
-        job = GpuJob(
+        return GpuJob(
             kind=TRAINING,
             camera_id=actor.camera_id,
             arrival=now,
             service_seconds=self.cloud.compute.training_seconds(estimated_steps),
             pool=pool,
         )
-        self.queue.append(job)
-        self._maybe_start_service(now, scheduler)
 
     # -- internals ------------------------------------------------------------
     def _label(
-        self, camera_id: int, batch: list[Frame], alpha: float, lambda_usage: float
+        self,
+        camera_id: int,
+        batch: list[Frame],
+        alpha: float,
+        lambda_usage: float,
+        now: float,
     ) -> LabelingResponse:
         tenant = self.tenants[camera_id]
         response = self.cloud.process_upload(
@@ -516,7 +609,15 @@ class CloudActor:
         self.gpu_seconds_by_camera[camera_id] = (
             self.gpu_seconds_by_camera.get(camera_id, 0.0) + response.gpu_seconds
         )
+        # feed the measured scene-change signal back so φ-aware policies
+        # can prioritise by drift rather than elapsed staleness
+        self.label_observer(camera_id, response.phi, now)
         return response
+
+    def pending_gpu_seconds(self, now: float) -> float:
+        """Residual busy time plus queued service — the placement load signal."""
+        backlog = max(0.0, self.busy_until - now)
+        return backlog + sum(job.service_seconds for job in self.queue)
 
     def _maybe_start_service(self, now: float, scheduler: EventScheduler) -> None:
         """Start the next GPU busy period with the scheduler's pick.
@@ -544,7 +645,9 @@ class CloudActor:
             service += job.service_seconds
         self.busy_until = now + service
         self.busy_seconds += service
-        scheduler.schedule(LabelingDone(time=self.busy_until, jobs=jobs))
+        scheduler.schedule(
+            LabelingDone(time=self.busy_until, jobs=jobs, worker_id=self.worker_id)
+        )
 
     def _train_tenant(
         self, tenant: _Tenant, labeled: list[LabeledFrame]
@@ -792,10 +895,13 @@ class SessionKernel:
         self,
         scheduler: EventScheduler,
         edge_actors: dict[int, EdgeActor],
-        cloud_actor: CloudActor,
+        cloud_actor: "CloudActor",
         transport: InstantTransport | SharedLinkTransport,
         streams: dict[int, Iterator[Frame]],
     ) -> None:
+        # ``cloud_actor`` may equally be a cluster
+        # (:class:`~repro.core.cluster.CloudCluster`): anything exposing
+        # the on_upload / on_labeling_done handlers routes here.
         self.scheduler = scheduler
         self.edge_actors = edge_actors
         self.cloud_actor = cloud_actor

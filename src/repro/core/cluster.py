@@ -1,0 +1,328 @@
+"""Sharded multi-GPU cloud: N GPU workers behind one placement policy.
+
+The PR 1/PR 2 fleet served every camera from a single shared teacher
+GPU (:class:`~repro.core.actors.CloudActor`).  This module scales that
+labeling tier out: a :class:`CloudCluster` runs ``num_gpus`` cloud
+actors as **GPU workers** — each with its own job queue, busy clock and
+:class:`~repro.core.scheduling.GpuScheduler` — behind one pluggable
+:class:`~repro.core.scheduling.PlacementPolicy`.  Scheduling thereby
+generalises to (gpu, jobs) assignments: placement fixes the *gpu* when
+a job arrives, the chosen worker's scheduler later picks the *jobs*
+that form each of its busy periods, and completions carry the worker's
+tag (:class:`~repro.runtime.events.LabelingDone.worker_id`) so the
+event kernel routes them back to the right shard.
+
+What is shared and what is not:
+
+* **shared** — the :class:`~repro.core.cloud.CloudServer` (one teacher
+  model; a real deployment replicates read-only weights per GPU), the
+  tenant registry (camera schedules, rate controllers, AMS label pools
+  and cloud-resident students) and the per-tenant GPU-seconds
+  accounting.  Sharing the registry is what lets a camera's jobs land
+  on *different* workers without forking its training state.
+* **per worker** — the job queue, the busy clock, the scheduler
+  instance (stateful policies must not couple shards) and the served /
+  rejected job logs, from which the cluster reports per-GPU utilisation
+  and load imbalance.
+
+A 1-worker cluster under round-robin placement routes every job to
+worker 0 through exactly the code paths of the single-GPU cloud, which
+is why it reproduces the PR 2 FIFO fleet metrics bit-for-bit (pinned by
+``tests/core/test_cluster.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.core.actors import CloudActor, InstantTransport, SharedLinkTransport
+from repro.core.cloud import CloudServer
+from repro.core.labeling import LabeledFrame
+from repro.core.sampling import SamplingRateController
+from repro.core.scheduling import (
+    GpuJob,
+    GpuScheduler,
+    PlacementPolicy,
+    build_placement,
+    build_scheduler,
+)
+from repro.runtime.events import EventScheduler, LabelingDone, UploadComplete
+
+__all__ = ["CloudCluster"]
+
+#: how a cluster accepts its per-worker schedulers: a policy name, a
+#: single instance (1-GPU clusters only), a zero-arg factory, or None
+SchedulerSpec = GpuScheduler | str | Callable[[], GpuScheduler] | None
+
+
+class CloudCluster:
+    """N GPU workers (cloud actors) behind one placement policy.
+
+    Construct with the *policies* (``num_gpus``, ``placement``,
+    ``scheduler``), then :meth:`bind` once to the runtime pieces (the
+    shared :class:`CloudServer` and the fleet transport) — binding is
+    what creates the worker actors, so a cluster, like a
+    :class:`~repro.core.fleet.FleetSession`, serves exactly one run.
+
+    ``scheduler`` accepts a registered policy name (each worker gets
+    its own instance), a zero-arg factory (called once per worker), or
+    — for 1-GPU clusters only — a ready :class:`GpuScheduler` instance;
+    sharing one stateful instance across workers would couple their
+    deficit/staleness clocks, so multi-GPU clusters reject it.
+    """
+
+    def __init__(
+        self,
+        num_gpus: int = 1,
+        placement: PlacementPolicy | str | None = None,
+        scheduler: SchedulerSpec = None,
+    ) -> None:
+        if num_gpus < 1:
+            raise ValueError(f"a cluster needs at least one GPU, got {num_gpus}")
+        self.num_gpus = num_gpus
+        self.placement = build_placement(placement)
+        self.schedulers = self._resolve_schedulers(scheduler, num_gpus)
+        self.workers: list[CloudActor] = []
+        #: shared across workers (see module docstring)
+        self.tenants: dict = {}
+        self.gpu_seconds_by_camera: dict[int, float] = {}
+        self._last_worker: dict[int, int] = {}
+        self._migrations: dict[int, int] = {}
+
+    @staticmethod
+    def _resolve_schedulers(
+        scheduler: SchedulerSpec, num_gpus: int
+    ) -> list[GpuScheduler]:
+        if isinstance(scheduler, GpuScheduler):
+            if num_gpus > 1:
+                raise ValueError(
+                    "a single GpuScheduler instance cannot be shared across "
+                    f"{num_gpus} GPU workers (stateful policies would couple "
+                    "shards); pass a policy name or a zero-arg factory instead"
+                )
+            return [scheduler]
+        if scheduler is None or isinstance(scheduler, str):
+            return [build_scheduler(scheduler) for _ in range(num_gpus)]
+        if callable(scheduler):
+            built = [scheduler() for _ in range(num_gpus)]
+            bad = [s for s in built if not isinstance(s, GpuScheduler)]
+            if bad:
+                raise ValueError(
+                    f"scheduler factory must produce GpuScheduler instances, got {bad[0]!r}"
+                )
+            if len({id(s) for s in built}) != num_gpus:
+                raise ValueError(
+                    "scheduler factory returned the same instance for several "
+                    "workers; each GPU needs its own scheduler state"
+                )
+            return built
+        raise ValueError(
+            f"scheduler must be a name, instance or factory, got {scheduler!r}"
+        )
+
+    # -- identity ------------------------------------------------------------
+    @property
+    def scheduler_name(self) -> str:
+        return self.schedulers[0].name
+
+    @property
+    def placement_name(self) -> str:
+        return self.placement.name
+
+    @property
+    def queue_training(self) -> bool:
+        """Whether AMS fine-tuning occupies the queued GPUs (policy trait)."""
+        return self.schedulers[0].queue_training
+
+    # -- wiring --------------------------------------------------------------
+    def bind(
+        self,
+        cloud: CloudServer,
+        transport: InstantTransport | SharedLinkTransport,
+        batch_overhead_seconds: float = 0.02,
+    ) -> "CloudCluster":
+        """Create the GPU workers around the shared server (once per run)."""
+        if self.workers:
+            raise RuntimeError(
+                "CloudCluster is already bound (its workers accumulate queue "
+                "state); construct a new cluster per fleet run"
+            )
+        self.cloud = cloud
+        self.transport = transport
+        self.placement.reset()
+        for worker_id, scheduler in enumerate(self.schedulers):
+            scheduler.reset()
+            self.workers.append(
+                CloudActor(
+                    cloud,
+                    transport,
+                    queued=True,
+                    batch_overhead_seconds=batch_overhead_seconds,
+                    scheduler=scheduler,
+                    worker_id=worker_id,
+                    tenants=self.tenants,
+                    gpu_seconds_by_camera=self.gpu_seconds_by_camera,
+                    # φ is a property of the camera, not of the worker
+                    # that happened to label it: broadcast every
+                    # measurement so no shard's φ-aware scheduler treats
+                    # an already-measured camera as unmeasured drift
+                    label_observer=self._broadcast_label,
+                )
+            )
+        return self
+
+    def _broadcast_label(self, camera_id: int, phi: float, now: float) -> None:
+        for scheduler in self.schedulers:
+            scheduler.on_labeled(camera_id, phi, now)
+
+    def register_camera(
+        self,
+        actor,
+        schedule: object | None = None,
+        controller: SamplingRateController | None = None,
+        use_server_trainer: bool = False,
+        seed: int = 0,
+        replay_seed: tuple | None = None,
+        weight: float = 1.0,
+    ) -> None:
+        """Attach one camera to every worker (shared tenant, per-GPU weights)."""
+        self.workers[0].register_camera(
+            actor,
+            schedule=schedule,
+            controller=controller,
+            use_server_trainer=use_server_trainer,
+            seed=seed,
+            replay_seed=replay_seed,
+            weight=weight,
+        )
+        for worker in self.workers[1:]:
+            worker.scheduler.register_tenant(actor.camera_id, weight=weight)
+
+    # -- placement ------------------------------------------------------------
+    def _worker_at(self, index: int) -> CloudActor:
+        if not 0 <= index < len(self.workers):
+            raise ValueError(
+                f"placement {self.placement_name!r} chose worker {index} of "
+                f"{len(self.workers)}"
+            )
+        return self.workers[index]
+
+    def _record_placement(self, camera_id: int, worker_id: int) -> None:
+        previous = self._last_worker.get(camera_id)
+        if previous is not None and previous != worker_id:
+            self._migrations[camera_id] = self._migrations.get(camera_id, 0) + 1
+        self._last_worker[camera_id] = worker_id
+
+    def _enqueue_labeling_placed(
+        self, job: GpuJob, now: float, scheduler: EventScheduler
+    ) -> None:
+        worker = self._worker_at(self.placement.place(job, self.workers, now))
+        if worker.enqueue_labeling(job, now, scheduler):
+            self._record_placement(job.camera_id, worker.worker_id)
+
+    def _enqueue_training_placed(
+        self, job: GpuJob, now: float, scheduler: EventScheduler
+    ) -> None:
+        worker = self._worker_at(self.placement.place(job, self.workers, now))
+        self._record_placement(job.camera_id, worker.worker_id)
+        worker.enqueue_training(job, now, scheduler)
+
+    # -- event handlers (the cluster is cloud-addressable like one actor) -----
+    # The control flow (latency accounting, instant-vs-queued, pool /
+    # bypass-vs-queue branches) lives ONCE in CloudActor; the cluster
+    # only swaps the final enqueue step for a placement-aware one, so
+    # the single-GPU and sharded clouds cannot drift apart.
+    def on_upload(self, event: UploadComplete, scheduler: EventScheduler) -> None:
+        self.workers[0].on_upload(
+            event, scheduler, enqueue=self._enqueue_labeling_placed
+        )
+
+    def on_labeling_done(self, event: LabelingDone, scheduler: EventScheduler) -> None:
+        self._worker_at(event.worker_id).on_labeling_done(event, scheduler)
+
+    def on_labels_for_training(
+        self,
+        actor,
+        labeled: list[LabeledFrame],
+        now: float,
+        scheduler: EventScheduler,
+    ) -> None:
+        """AMS path: pool in the shared registry, place the training job.
+
+        Under the FIFO bypass (``queue_training`` false) the filled pool
+        trains immediately on spare capacity — the accounting dicts and
+        the server are shared, so no particular worker is charged busy
+        time, exactly as in the single-GPU cloud.  Unified-queue
+        policies wrap the pool into a :class:`GpuJob` and place it like
+        any other work.
+        """
+        self.workers[0].on_labels_for_training(
+            actor, labeled, now, scheduler, enqueue=self._enqueue_training_placed
+        )
+
+    def note_gpu(self, camera_id: int, seconds: float) -> None:
+        """Attribute GPU time to the shared server and one tenant."""
+        self.workers[0].note_gpu(camera_id, seconds)
+
+    # -- aggregate accounting -------------------------------------------------
+    @property
+    def busy_seconds(self) -> float:
+        """Total GPU busy time summed over all workers."""
+        return sum(worker.busy_seconds for worker in self.workers)
+
+    @property
+    def gpu_busy_by_worker(self) -> list[float]:
+        return [worker.busy_seconds for worker in self.workers]
+
+    @staticmethod
+    def _merge_completed(per_worker: Sequence[list[GpuJob]]) -> list[GpuJob]:
+        jobs = [job for worker_jobs in per_worker for job in worker_jobs]
+        # stable sort: a 1-worker cluster keeps exact completion order
+        return sorted(jobs, key=lambda job: (job.completion, job.worker_id))
+
+    @property
+    def completed_jobs(self) -> list[GpuJob]:
+        """Served labeling jobs across all workers, in completion order."""
+        return self._merge_completed([w.completed_jobs for w in self.workers])
+
+    @property
+    def completed_training_jobs(self) -> list[GpuJob]:
+        return self._merge_completed([w.completed_training_jobs for w in self.workers])
+
+    @property
+    def queue_waits(self) -> list[float]:
+        return [job.wait_seconds for job in self.completed_jobs]
+
+    @property
+    def training_waits(self) -> list[float]:
+        return [job.wait_seconds for job in self.completed_training_jobs]
+
+    @property
+    def rejections_by_camera(self) -> dict[int, int]:
+        counts: dict[int, int] = {camera_id: 0 for camera_id in self.tenants}
+        for worker in self.workers:
+            for job in worker.rejected_jobs:
+                counts[job.camera_id] = counts.get(job.camera_id, 0) + 1
+        return counts
+
+    @property
+    def migrations_by_camera(self) -> dict[int, int]:
+        """How often each camera's jobs moved to a different worker."""
+        return {
+            camera_id: self._migrations.get(camera_id, 0)
+            for camera_id in self.tenants
+        }
+
+    @property
+    def num_migrations(self) -> int:
+        return sum(self._migrations.values())
+
+    @property
+    def num_labeling_batches(self) -> int:
+        """GPU busy periods that served at least one labeling job."""
+        starts = {
+            (job.worker_id, job.service_start)
+            for worker in self.workers
+            for job in worker.completed_jobs
+        }
+        return len(starts)

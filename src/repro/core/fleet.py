@@ -9,13 +9,17 @@ and a *single* processor-sharing
 * uploads from different cameras contend for the shared uplink, so
   transfer times stretch with fleet size;
 * labeling requests — and, for unified-queue policies, AMS
-  cloud-training jobs — join one GPU job queue drained by a pluggable
+  cloud-training jobs — are placed onto the GPU workers of a
+  :class:`~repro.core.cluster.CloudCluster` (one worker by default) by
+  a pluggable :class:`~repro.core.scheduling.PlacementPolicy`; each
+  worker drains its own queue with a pluggable
   :class:`~repro.core.scheduling.GpuScheduler` (FIFO merged-batch by
-  default; staleness-priority, weighted-fair and admission-control
-  policies ship too), so labeling latency grows with load and the
-  *shape* of that growth is a policy choice;
-* GPU time is accounted per tenant, which is what capacity planning
-  (how many cameras can one V100 serve, and under which policy?) needs.
+  default; staleness-priority, weighted-fair, admission-control and
+  drift-aware policies ship too), so labeling latency grows with load
+  and the *shape* of that growth is a policy choice;
+* GPU time is accounted per tenant and busy time per worker, which is
+  what capacity planning (how many cameras can one V100 serve — and
+  how many V100s does this fleet need?) requires.
 
 Every camera still produces a full per-camera
 :class:`~repro.core.session.SessionResult`, plus fleet-level aggregates
@@ -28,13 +32,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.actors import CloudActor, EdgeActor, SessionKernel, SharedLinkTransport
+from repro.core.actors import EdgeActor, SessionKernel, SharedLinkTransport
 from repro.core.adaptive_training import AdaptiveTrainer
 from repro.core.cloud import CloudServer
+from repro.core.cluster import CloudCluster, SchedulerSpec
 from repro.core.config import ShoggothConfig
 from repro.core.edge import EdgeDevice
 from repro.core.sampling import SamplingRateController
-from repro.core.scheduling import GpuScheduler, build_scheduler, jain_fairness
+from repro.core.scheduling import PlacementPolicy, jain_fairness
 from repro.core.session import SessionOptions, SessionResult, resolve_session_config
 from repro.core.strategies import build_strategy
 from repro.detection.student import StudentDetector
@@ -52,7 +57,14 @@ __all__ = ["CameraSpec", "FleetCameraResult", "FleetResult", "FleetSession"]
 
 @dataclass(frozen=True)
 class CameraSpec:
-    """One camera of the fleet: its stream, strategy, seeds and GPU share."""
+    """One camera of the fleet: its stream, strategy, seeds and GPU share.
+
+    Invalid specs are rejected at construction — a non-positive weight
+    would otherwise corrupt per-tenant GPU accounting (division by the
+    weight) mid-run.  Non-positive stream rates/lengths are already
+    impossible: :class:`~repro.video.stream.StreamConfig` validates
+    them before a :class:`DatasetSpec` can exist.
+    """
 
     name: str
     dataset: DatasetSpec
@@ -63,6 +75,15 @@ class CameraSpec:
     #: relative GPU share under :class:`WeightedFairScheduler` (ignored
     #: by the other policies)
     weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("camera name must be non-empty")
+        if not self.weight > 0:
+            raise ValueError(
+                f"camera weights must be positive, got {self.weight!r} "
+                f"for {self.name!r}"
+            )
 
     def resolve_options(self) -> SessionOptions:
         if isinstance(self.strategy, SessionOptions):
@@ -97,14 +118,26 @@ class FleetResult:
     duration_seconds: float
     num_labeling_batches: int
     gpu_seconds_by_camera: dict[str, float]
-    #: which GPU scheduling policy served the fleet
+    #: which GPU scheduling policy served the fleet (per worker)
     scheduler: str = "fifo"
     #: queue delays of AMS cloud-training jobs (empty under FIFO bypass)
     training_waits: list[float] = field(default_factory=list)
+    #: sharded-cloud shape: GPU workers and the placement that fed them
+    num_gpus: int = 1
+    placement: str = "round_robin"
+    #: per-GPU busy seconds (one entry per worker; sums to
+    #: ``cloud_busy_seconds``)
+    gpu_busy_by_worker: list[float] = field(default_factory=list)
+    #: how often each camera's jobs moved between workers
+    migrations_by_camera: dict[str, int] = field(default_factory=dict)
 
     @property
     def num_cameras(self) -> int:
         return len(self.cameras)
+
+    @property
+    def num_migrations(self) -> int:
+        return sum(self.migrations_by_camera.values())
 
     @property
     def mean_queue_delay(self) -> float:
@@ -128,15 +161,52 @@ class FleetResult:
 
     @property
     def gpu_fairness(self) -> float:
-        """Jain's index over per-tenant GPU-seconds (1.0 = perfectly even)."""
+        """Jain's index over per-tenant GPU-seconds (1.0 = perfectly even).
+
+        Per-tenant seconds are summed across all GPU workers before the
+        index is taken, so the sharded and single-GPU clouds report the
+        same quantity (a per-shard index averaged over shards would
+        overstate fairness whenever tenants concentrate on one worker).
+        """
         return jain_fairness(self.gpu_seconds_by_camera.values())
 
     @property
+    def worker_utilizations(self) -> list[float]:
+        """Per-GPU busy fraction of the run (one entry per worker)."""
+        if self.duration_seconds <= 0:
+            return [0.0 for _ in self.gpu_busy_by_worker]
+        return [
+            min(1.0, busy / self.duration_seconds) for busy in self.gpu_busy_by_worker
+        ]
+
+    @property
     def cloud_utilization(self) -> float:
-        """Fraction of the run the shared GPU spent serving the fleet."""
+        """Busy fraction of the cloud's *total* GPU capacity.
+
+        Shard-aware: the denominator is ``num_gpus × duration``, i.e.
+        per-GPU busy time weighted into one capacity pool, so a 4-GPU
+        cloud at 25% per worker reports 0.25 — not the sum of per-GPU
+        fractions (>1) or their naive average over a wrong base.  With
+        one GPU this reduces exactly to the pre-sharding definition.
+        """
         if self.duration_seconds <= 0:
             return 0.0
-        return min(1.0, self.cloud_busy_seconds / self.duration_seconds)
+        capacity = max(1, self.num_gpus) * self.duration_seconds
+        return min(1.0, self.cloud_busy_seconds / capacity)
+
+    @property
+    def load_imbalance(self) -> float:
+        """Max over mean per-GPU busy time (1.0 = perfectly balanced)."""
+        busy = self.gpu_busy_by_worker or [self.cloud_busy_seconds]
+        mean = sum(busy) / len(busy)
+        if mean <= 0:
+            return 1.0
+        return max(busy) / mean
+
+    @property
+    def gpu_load_fairness(self) -> float:
+        """Jain's index over per-GPU busy seconds (load-balance quality)."""
+        return jain_fairness(self.gpu_busy_by_worker or [self.cloud_busy_seconds])
 
     def session(self, camera: str) -> SessionResult:
         for entry in self.cameras:
@@ -146,16 +216,21 @@ class FleetResult:
 
 
 class FleetSession:
-    """N cameras, one cloud server, one shared network link.
+    """N cameras, one cloud (1..N GPUs), one shared network link.
 
     Each camera starts from a fresh clone of the pre-trained student and
     resolves its own strategy/config exactly as a standalone
     :class:`CollaborativeSession` would; only the *resources* (teacher
-    GPU, uplink/downlink) are shared.  ``scheduler`` picks the GPU
+    GPUs, uplink/downlink) are shared.  ``scheduler`` picks the per-GPU
     sharing policy — a :class:`GpuScheduler` instance or a registered
     policy name (``"fifo"``, ``"staleness"``, ``"weighted_fair"``,
-    ``"admission"``); the default FIFO policy reproduces the
-    pre-scheduler fleet behaviour exactly.
+    ``"admission"``, ``"drift"``); the default FIFO policy reproduces
+    the pre-scheduler fleet behaviour exactly.  ``num_gpus`` and
+    ``placement`` (``"round_robin"``, ``"least_loaded"``, ``"sticky"``,
+    ``"power_of_two"``) shard the cloud into a
+    :class:`~repro.core.cluster.CloudCluster`; alternatively pass a
+    ready ``cluster`` and leave the three policy knobs at their
+    defaults.
     """
 
     def __init__(
@@ -170,17 +245,29 @@ class FleetSession:
         cloud_compute: CloudComputeModel | None = None,
         replay_seed: tuple | None = None,
         batch_overhead_seconds: float = 0.02,
-        scheduler: GpuScheduler | str | None = None,
+        scheduler: SchedulerSpec = None,
+        num_gpus: int = 1,
+        placement: PlacementPolicy | str | None = None,
+        cluster: CloudCluster | None = None,
     ) -> None:
         if not cameras:
             raise ValueError("a fleet needs at least one camera")
         names = [spec.name for spec in cameras]
-        if len(set(names)) != len(names):
-            raise ValueError("camera names must be unique")
-        if any(spec.weight <= 0 for spec in cameras):
-            raise ValueError("camera weights must be positive")
+        duplicates = sorted({name for name in names if names.count(name) > 1})
+        if duplicates:
+            raise ValueError(f"camera names must be unique, duplicated: {duplicates}")
+        if cluster is not None:
+            if scheduler is not None or placement is not None or num_gpus != 1:
+                raise ValueError(
+                    "pass either a ready cluster or the scheduler/num_gpus/"
+                    "placement knobs, not both"
+                )
+            self.cluster = cluster
+        else:
+            self.cluster = CloudCluster(
+                num_gpus=num_gpus, placement=placement, scheduler=scheduler
+            )
         self.cameras = list(cameras)
-        self.scheduler = build_scheduler(scheduler)
         self.student = student
         self.teacher = teacher
         self.config = config or ShoggothConfig()
@@ -203,7 +290,7 @@ class FleetSession:
         self,
         camera_id: int,
         spec: CameraSpec,
-        cloud_actor: CloudActor,
+        cloud_actor: CloudCluster,
         transport: SharedLinkTransport,
     ) -> tuple[EdgeActor, "VideoStream"]:
         options = spec.resolve_options()
@@ -255,29 +342,26 @@ class FleetSession:
                 "accumulate state); construct a new session"
             )
         self._ran = True
-        # a reused scheduler instance must not carry clocks/deficits from
-        # a previous fleet into this one
-        self.scheduler.reset()
         scheduler = EventScheduler()
         transport = SharedLinkTransport(self.link)
-        cloud_actor = CloudActor(
+        # binding creates the GPU workers and resets reused scheduler /
+        # placement instances, so no clocks or deficits leak between fleets
+        cluster = self.cluster.bind(
             self.cloud,
             transport,
-            queued=True,
             batch_overhead_seconds=self.batch_overhead_seconds,
-            scheduler=self.scheduler,
         )
         edge_actors: dict[int, EdgeActor] = {}
         streams = {}
         for camera_id, spec in enumerate(self.cameras):
-            actor, stream = self._build_camera(camera_id, spec, cloud_actor, transport)
+            actor, stream = self._build_camera(camera_id, spec, cluster, transport)
             edge_actors[camera_id] = actor
             streams[camera_id] = iter(stream)
 
         kernel = SessionKernel(
             scheduler,
             edge_actors=edge_actors,
-            cloud_actor=cloud_actor,
+            cloud_actor=cluster,
             transport=transport,
             streams=streams,
         )
@@ -288,10 +372,11 @@ class FleetSession:
         )
         camera_results = []
         gpu_by_name: dict[str, float] = {}
-        rejections = cloud_actor.rejections_by_camera
+        rejections = cluster.rejections_by_camera
+        migrations = cluster.migrations_by_camera
         for camera_id, spec in enumerate(self.cameras):
             actor = edge_actors[camera_id]
-            gpu = cloud_actor.gpu_seconds_by_camera.get(camera_id, 0.0)
+            gpu = cluster.gpu_seconds_by_camera.get(camera_id, 0.0)
             gpu_by_name[spec.name] = gpu
             camera_results.append(
                 FleetCameraResult(
@@ -304,18 +389,19 @@ class FleetSession:
             )
         return FleetResult(
             cameras=camera_results,
-            queue_waits=cloud_actor.queue_waits,
+            queue_waits=cluster.queue_waits,
             cloud_gpu_seconds=self.cloud.total_gpu_seconds,
-            cloud_busy_seconds=cloud_actor.busy_seconds,
+            cloud_busy_seconds=cluster.busy_seconds,
             duration_seconds=duration,
-            num_labeling_batches=self._merged_batches(cloud_actor),
+            num_labeling_batches=cluster.num_labeling_batches,
             gpu_seconds_by_camera=gpu_by_name,
-            scheduler=self.scheduler.name,
-            training_waits=cloud_actor.training_waits,
+            scheduler=cluster.scheduler_name,
+            training_waits=cluster.training_waits,
+            num_gpus=cluster.num_gpus,
+            placement=cluster.placement_name,
+            gpu_busy_by_worker=cluster.gpu_busy_by_worker,
+            migrations_by_camera={
+                spec.name: migrations.get(camera_id, 0)
+                for camera_id, spec in enumerate(self.cameras)
+            },
         )
-
-    @staticmethod
-    def _merged_batches(cloud_actor: CloudActor) -> int:
-        """Number of GPU busy periods (merged multi-tenant batches)."""
-        starts = {job.service_start for job in cloud_actor.completed_jobs}
-        return len(starts)

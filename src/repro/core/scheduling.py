@@ -35,12 +35,29 @@ Four policies ship:
   whose projected queue delay exceeds a budget are rejected outright;
   the edge simply keeps its stale weights and sampling rate.  Trades
   label freshness *coverage* for a hard latency guarantee.
+* :class:`DriftAwareScheduler` — φ-aware: serve the camera whose most
+  recently *measured* scene-change signal φ (computed by the cloud from
+  teacher labels, :func:`~repro.core.sampling.compute_phi` over the
+  drift schedules of :mod:`repro.video.drift`) is largest, instead of
+  the camera that has merely waited longest.  Under contention the GPU
+  chases the cameras that are actually drifting.
+
+With the sharded cloud (:class:`~repro.core.cluster.CloudCluster`) a
+second policy axis appears *in front of* the per-GPU schedulers: a
+:class:`PlacementPolicy` maps each arriving :class:`GpuJob` to one of N
+GPU workers, generalising scheduling from "which queued jobs next?" to
+(gpu, jobs) assignments — placement picks the gpu, that worker's
+:class:`GpuScheduler` picks the jobs.  Four placements ship:
+round-robin, least-loaded (by queued GPU-seconds), sticky camera-
+affinity hashing, and power-of-two-choices.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Sequence
+from typing import Any, Iterable, Protocol, Sequence
+
+import numpy as np
 
 __all__ = [
     "LABELING",
@@ -51,8 +68,17 @@ __all__ = [
     "StalenessPriorityScheduler",
     "WeightedFairScheduler",
     "AdmissionControlScheduler",
+    "DriftAwareScheduler",
     "SCHEDULERS",
     "build_scheduler",
+    "GpuWorkerView",
+    "PlacementPolicy",
+    "RoundRobinPlacement",
+    "LeastLoadedPlacement",
+    "StickyPlacement",
+    "PowerOfTwoPlacement",
+    "PLACEMENTS",
+    "build_placement",
     "jain_fairness",
 ]
 
@@ -88,6 +114,11 @@ class GpuJob:
     #: stashed :class:`~repro.core.cloud.CloudTrainingResult` for
     #: training jobs, filled in when the busy period starts
     result: Any = None
+    #: GPU worker the job was placed on (cluster sessions tag this at
+    #: enqueue time; single-GPU clouds leave it at worker 0)
+    worker_id: int = 0
+    #: when the busy period serving this job completed
+    completion: float | None = None
 
     @property
     def wait_seconds(self) -> float:
@@ -146,6 +177,14 @@ class GpuScheduler:
 
     def on_served(self, jobs: Sequence[GpuJob], completion: float) -> None:
         """Observe a finished busy period (for stateful policies)."""
+
+    def on_labeled(self, camera_id: int, phi: float, now: float) -> None:
+        """Observe the measured scene-change signal φ of a served batch.
+
+        The cloud computes φ from the teacher's labels while serving a
+        labeling job; φ-aware policies (:class:`DriftAwareScheduler`)
+        use it to prioritise drifting cameras.  Default: ignore it.
+        """
 
     # -- shared helpers -----------------------------------------------------
     @staticmethod
@@ -294,6 +333,68 @@ class AdmissionControlScheduler(GpuScheduler):
         return list(queue)
 
 
+class DriftAwareScheduler(GpuScheduler):
+    """Serve the camera whose *measured* drift signal φ is largest.
+
+    :class:`StalenessPriorityScheduler` assumes every camera degrades
+    at the same rate, so elapsed time since the last label batch is a
+    proxy for model error.  It is a poor proxy for heterogeneous
+    fleets: a stationary parking-lot camera that waited 10 s needs the
+    GPU far less than a dawn-transition highway camera that waited 2 s.
+    This policy keeps, per tenant, the most recent φ the cloud measured
+    while labeling that tenant's frames (fed back through
+    :meth:`GpuScheduler.on_labeled`) and each busy period serves all
+    queued jobs of the tenant with the largest φ.
+
+    Tenants that were never labeled have unknown drift and are served
+    first (φ defaults to ``+inf``), so every camera gets measured
+    before the measured signal starts to rule; ties fall back to
+    staleness, then arrival order.
+    """
+
+    name = "drift"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._phi: dict[int, float] = {}
+        self._last_labeled: dict[int, float] = {}
+
+    def reset(self) -> None:
+        super().reset()
+        self._phi.clear()
+        self._last_labeled.clear()
+
+    def phi(self, camera_id: int) -> float:
+        """Last measured scene-change signal (``+inf`` = never measured)."""
+        return self._phi.get(camera_id, float("inf"))
+
+    def staleness(self, camera_id: int, now: float) -> float:
+        return now - self._last_labeled.get(camera_id, 0.0)
+
+    def on_labeled(self, camera_id: int, phi: float, now: float) -> None:
+        # both signals update here — not in on_served — because a
+        # cluster broadcasts this hook to every shard: φ AND staleness
+        # are properties of the camera, not of the worker that happened
+        # to label it, so the tie-break clock must not fork either
+        self._phi[camera_id] = phi
+        self._last_labeled[camera_id] = now
+
+    def select(self, queue: Sequence[GpuJob], now: float) -> list[GpuJob]:
+        grouped = self._jobs_by_camera(queue)
+        if not grouped:
+            return []
+        chosen = min(
+            grouped,
+            key=lambda cam: (
+                -self.phi(cam),
+                -self.staleness(cam, now),
+                grouped[cam][0].arrival,
+                cam,
+            ),
+        )
+        return list(grouped[chosen])
+
+
 #: registry threaded through ``FleetSession(scheduler=...)`` and
 #: ``run_fleet(scheduler=...)``
 SCHEDULERS: dict[str, type[GpuScheduler]] = {
@@ -301,6 +402,7 @@ SCHEDULERS: dict[str, type[GpuScheduler]] = {
     StalenessPriorityScheduler.name: StalenessPriorityScheduler,
     WeightedFairScheduler.name: WeightedFairScheduler,
     AdmissionControlScheduler.name: AdmissionControlScheduler,
+    DriftAwareScheduler.name: DriftAwareScheduler,
 }
 
 
@@ -319,6 +421,183 @@ def build_scheduler(
     except KeyError:
         known = ", ".join(sorted(SCHEDULERS))
         raise ValueError(f"unknown scheduler {scheduler!r} (known: {known})") from None
+    return factory(**kwargs)
+
+
+# ---------------------------------------------------------------------------
+# placement: which GPU worker gets each job (the sharded-cloud axis)
+# ---------------------------------------------------------------------------
+class GpuWorkerView(Protocol):
+    """What a :class:`PlacementPolicy` may inspect about a GPU worker.
+
+    :class:`~repro.core.actors.CloudActor` satisfies this; tests drive
+    the policies with lightweight stubs.
+    """
+
+    def pending_gpu_seconds(self, now: float) -> float:
+        """Residual busy time plus the service time of every queued job."""
+        ...
+
+
+class PlacementPolicy:
+    """Maps each arriving :class:`GpuJob` to one of N GPU workers.
+
+    Together with the per-worker :class:`GpuScheduler` this generalises
+    ``select`` to (gpu, jobs) assignments: :meth:`place` fixes the gpu
+    when the job arrives, the chosen worker's scheduler later picks the
+    jobs forming each busy period.  Subclasses override :meth:`place`
+    (and :meth:`reset` when stateful); the contract is a worker index
+    in ``range(len(workers))``, deterministic for a given job/load
+    history so cluster runs stay reproducible.
+    """
+
+    name: str = "base"
+
+    def reset(self) -> None:
+        """Clear per-run state so one instance can serve successive fleets."""
+
+    def place(
+        self, job: GpuJob, workers: Sequence[GpuWorkerView], now: float
+    ) -> int:
+        """Index of the worker that shall queue ``job`` (GPU assignment)."""
+        raise NotImplementedError
+
+
+class RoundRobinPlacement(PlacementPolicy):
+    """Cycle through the workers in order, ignoring load.
+
+    The degenerate 1-worker cluster under this placement routes every
+    job to worker 0, which is how the sharded cloud reproduces the
+    single-GPU fleet bit-for-bit (pinned by the golden regression test).
+    """
+
+    name = "round_robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def reset(self) -> None:
+        self._next = 0
+
+    def place(
+        self, job: GpuJob, workers: Sequence[GpuWorkerView], now: float
+    ) -> int:
+        index = self._next % len(workers)
+        self._next += 1
+        return index
+
+
+class LeastLoadedPlacement(PlacementPolicy):
+    """Send the job to the worker with the fewest queued GPU-seconds.
+
+    Load is the worker's residual busy time plus the service estimates
+    of everything already queued, so a single long training job counts
+    for what it costs, not as one queue slot.  Ties break on the lower
+    worker index (deterministic).
+    """
+
+    name = "least_loaded"
+
+    def place(
+        self, job: GpuJob, workers: Sequence[GpuWorkerView], now: float
+    ) -> int:
+        return min(
+            range(len(workers)),
+            key=lambda index: (workers[index].pending_gpu_seconds(now), index),
+        )
+
+
+class StickyPlacement(PlacementPolicy):
+    """Camera-affinity hashing: every job of a camera lands on one worker.
+
+    The first job of a camera is hashed (Knuth multiplicative, stable
+    across runs and processes — unlike :func:`hash`) onto a worker and
+    the assignment is cached, so a camera never migrates.  Affinity
+    keeps any per-tenant GPU state (e.g. a cloud-resident AMS student)
+    on a single shard at the cost of ignoring load imbalance.
+    """
+
+    name = "sticky"
+
+    def __init__(self) -> None:
+        self._assigned: dict[int, int] = {}
+
+    def reset(self) -> None:
+        self._assigned.clear()
+
+    @staticmethod
+    def _stable_hash(camera_id: int) -> int:
+        # keep the HIGH half of the 32-bit product: the multiplier is
+        # ≡ 1 (mod 16), so the low bits of camera_id * m are just
+        # camera_id's own low bits and "% num_workers" would degenerate
+        # to camera_id % num_workers for power-of-two clusters
+        return ((camera_id * 2654435761) & 0xFFFFFFFF) >> 16
+
+    def place(
+        self, job: GpuJob, workers: Sequence[GpuWorkerView], now: float
+    ) -> int:
+        camera_id = job.camera_id
+        if camera_id not in self._assigned:
+            self._assigned[camera_id] = self._stable_hash(camera_id) % len(workers)
+        return self._assigned[camera_id]
+
+
+class PowerOfTwoPlacement(PlacementPolicy):
+    """Power-of-two-choices: sample two workers, pick the less loaded.
+
+    The classic load-balancing result — two random choices already
+    collapse the maximum queue length exponentially compared to one —
+    at O(1) cost per job instead of least-loaded's O(N) scan.  The
+    sampling RNG is seeded so cluster runs stay deterministic.
+    """
+
+    name = "power_of_two"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+
+    def reset(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+
+    def place(
+        self, job: GpuJob, workers: Sequence[GpuWorkerView], now: float
+    ) -> int:
+        if len(workers) == 1:
+            return 0
+        first, second = (
+            int(i) for i in self._rng.choice(len(workers), size=2, replace=False)
+        )
+        if workers[second].pending_gpu_seconds(now) < workers[first].pending_gpu_seconds(now):
+            return second
+        return first
+
+
+#: registry threaded through ``CloudCluster(placement=...)``,
+#: ``FleetSession(placement=...)`` and ``run_fleet(placement=...)``
+PLACEMENTS: dict[str, type[PlacementPolicy]] = {
+    RoundRobinPlacement.name: RoundRobinPlacement,
+    LeastLoadedPlacement.name: LeastLoadedPlacement,
+    StickyPlacement.name: StickyPlacement,
+    PowerOfTwoPlacement.name: PowerOfTwoPlacement,
+}
+
+
+def build_placement(
+    placement: PlacementPolicy | str | None, **kwargs: Any
+) -> PlacementPolicy:
+    """Resolve a placement instance from a policy name (or pass one through)."""
+    if placement is None:
+        return RoundRobinPlacement()
+    if isinstance(placement, PlacementPolicy):
+        if kwargs:
+            raise ValueError("keyword options only apply when building by name")
+        return placement
+    try:
+        factory = PLACEMENTS[placement]
+    except KeyError:
+        known = ", ".join(sorted(PLACEMENTS))
+        raise ValueError(f"unknown placement {placement!r} (known: {known})") from None
     return factory(**kwargs)
 
 

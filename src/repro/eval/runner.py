@@ -5,9 +5,10 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass
 
+from repro.core.cluster import CloudCluster, SchedulerSpec
 from repro.core.config import ShoggothConfig
 from repro.core.fleet import CameraSpec, FleetResult, FleetSession
-from repro.core.scheduling import GpuScheduler
+from repro.core.scheduling import PlacementPolicy
 from repro.core.session import SessionResult
 from repro.core.strategies import Strategy, build_strategy
 from repro.detection.metrics import (
@@ -207,6 +208,8 @@ class FleetRunResult:
         """Flat summary row for fleet-scaling and scheduler-policy tables."""
         return {
             "policy": self.fleet.scheduler,
+            "GPUs": self.fleet.num_gpus,
+            "placement": self.fleet.placement,
             "cameras": self.num_cameras,
             "mean mAP@0.5 (%)": round(100.0 * self.mean_map50, 1),
             "mean FPS": round(self.mean_fps, 1),
@@ -215,7 +218,9 @@ class FleetRunResult:
             "upload latency (s)": round(self.mean_upload_latency, 3),
             "cloud GPU (s)": round(self.fleet.cloud_gpu_seconds, 1),
             "cloud util": round(self.fleet.cloud_utilization, 3),
+            "load imbalance": round(self.fleet.load_imbalance, 3),
             "GPU fairness": round(self.fleet.gpu_fairness, 3),
+            "migrations": self.fleet.num_migrations,
             "rejected": self.fleet.num_rejected_uploads,
         }
 
@@ -229,17 +234,23 @@ def run_fleet(
     link: SharedLink | None = None,
     link_config: LinkConfig | None = None,
     batch_overhead_seconds: float = 0.02,
-    scheduler: GpuScheduler | str | None = None,
+    scheduler: SchedulerSpec = None,
+    num_gpus: int = 1,
+    placement: PlacementPolicy | str | None = None,
+    cluster: CloudCluster | None = None,
 ) -> FleetRunResult:
     """Run N cameras against one shared cloud/link and score each stream.
 
     Every camera starts from a fresh clone of ``student``; the fleet
-    shares one teacher GPU and one processor-sharing link, so the
-    per-camera metrics degrade as the fleet grows — the scaling
-    behaviour ``benchmarks/bench_fleet_scaling.py`` measures.  How the
-    GPU is shared is the ``scheduler`` policy (FIFO merged-batch by
-    default; see :mod:`repro.core.scheduling`), which
-    ``benchmarks/bench_scheduler_policies.py`` compares.
+    shares one cloud and one processor-sharing link, so the per-camera
+    metrics degrade as the fleet grows — the scaling behaviour
+    ``benchmarks/bench_fleet_scaling.py`` measures.  How each GPU is
+    shared is the ``scheduler`` policy (FIFO merged-batch by default;
+    see :mod:`repro.core.scheduling`), which
+    ``benchmarks/bench_scheduler_policies.py`` compares; ``num_gpus``
+    and ``placement`` — or a ready ``cluster`` — shard the cloud into a
+    :class:`~repro.core.cluster.CloudCluster`, which
+    ``benchmarks/bench_cloud_sharding.py`` scales.
     """
     settings = settings or ExperimentSettings()
     teacher = TeacherDetector(teacher_config or TeacherConfig(seed=settings.seed + 7))
@@ -260,6 +271,9 @@ def run_fleet(
         replay_seed=replay_seed,
         batch_overhead_seconds=batch_overhead_seconds,
         scheduler=scheduler,
+        num_gpus=num_gpus,
+        placement=placement,
+        cluster=cluster,
     )
     outcome = fleet.run()
     per_camera = {

@@ -97,14 +97,20 @@ class UploadComplete(Event):
 
 @dataclass
 class LabelingDone(Event):
-    """The cloud GPU finished a (possibly multi-tenant) busy period.
+    """A cloud GPU finished a (possibly multi-tenant) busy period.
 
     Internal to the fleet's unified GPU job queue; carries the jobs
     (labeling uploads and/or cloud-training sessions) that were served
-    together so per-tenant accounting can split the GPU time.
+    together so per-tenant accounting can split the GPU time, and the
+    ``worker_id`` of the GPU that served them so sharded clouds
+    (:class:`~repro.core.cluster.CloudCluster`) can route the
+    completion back to the right worker.  Single-GPU clouds leave the
+    tag at worker 0.
     """
 
     jobs: list = field(default_factory=list)
+    #: which GPU worker's busy period ended (cluster routing tag)
+    worker_id: int = 0
 
     priority: ClassVar[int] = 1
 

@@ -18,6 +18,7 @@ from repro.core.scheduling import (
     LABELING,
     TRAINING,
     AdmissionControlScheduler,
+    DriftAwareScheduler,
     FifoScheduler,
     GpuJob,
     GpuScheduler,
@@ -57,8 +58,14 @@ class TestSchedulerRegistry:
         with pytest.raises(ValueError):
             FifoScheduler().register_tenant(0, weight=0.0)
 
-    def test_registry_covers_all_four_policies(self):
-        assert set(SCHEDULERS) == {"fifo", "staleness", "weighted_fair", "admission"}
+    def test_registry_covers_all_five_policies(self):
+        assert set(SCHEDULERS) == {
+            "fifo",
+            "staleness",
+            "weighted_fair",
+            "admission",
+            "drift",
+        }
 
     def test_base_select_is_abstract(self):
         with pytest.raises(NotImplementedError):
@@ -142,6 +149,47 @@ class TestWeightedFair:
         sched.on_served([job(0, 0.0, service=1.0)], completion=1.0)
         picked = sched.select([job(0, 1.0), job(1, 1.1)], now=2.0)
         assert {j.camera_id for j in picked} == {1}
+
+
+class TestDriftAware:
+    def test_unmeasured_tenants_are_served_first(self):
+        sched = DriftAwareScheduler()
+        sched.on_labeled(0, phi=0.9, now=1.0)
+        queue = [job(0, 1.5), job(1, 1.6)]
+        # camera 1 was never measured: its drift is unknown (+inf)
+        picked = sched.select(queue, now=2.0)
+        assert {j.camera_id for j in picked} == {1}
+
+    def test_highest_measured_phi_wins(self):
+        sched = DriftAwareScheduler()
+        sched.on_labeled(0, phi=0.05, now=1.0)  # stationary camera
+        sched.on_labeled(1, phi=0.80, now=1.9)  # drifting camera, fresher too
+        # the stationary camera has waited longer — φ overrules staleness
+        queue = [job(0, 1.0), job(1, 1.9)]
+        picked = sched.select(queue, now=2.0)
+        assert {j.camera_id for j in picked} == {1}
+        assert sched.phi(1) == pytest.approx(0.80)
+
+    def test_ties_fall_back_to_staleness(self):
+        sched = DriftAwareScheduler()
+        sched.on_labeled(0, phi=0.5, now=1.5)  # camera 0 labeled more recently
+        sched.on_labeled(1, phi=0.5, now=1.0)
+        picked = sched.select([job(0, 1.6), job(1, 1.6)], now=2.0)
+        assert {j.camera_id for j in picked} == {1}
+        # the staleness clock lives in on_labeled (broadcast cluster-wide),
+        # so a worker that merely observed the service keeps the same clock
+        assert sched.staleness(0, now=2.0) == pytest.approx(0.5)
+
+    def test_serves_all_jobs_of_chosen_tenant_and_resets(self):
+        sched = DriftAwareScheduler()
+        sched.on_labeled(0, phi=0.9, now=1.0)
+        sched.on_labeled(1, phi=0.1, now=1.0)
+        queue = [job(0, 1.1), job(1, 1.2), job(0, 1.3, kind=TRAINING)]
+        picked = sched.select(queue, now=2.0)
+        assert [j.camera_id for j in picked] == [0, 0]
+        sched.reset()
+        assert sched.phi(0) == float("inf")
+        assert sched.queue_training  # unified queue like the other non-FIFO policies
 
 
 class TestAdmissionControl:
@@ -263,7 +311,7 @@ class TestFifoRegression:
 class TestPoliciesEndToEnd:
     def test_staleness_and_weighted_fair_queue_training(self):
         """Unified queue: the AMS camera's fine-tuning shares the GPU."""
-        for policy in ("staleness", "weighted_fair"):
+        for policy in ("staleness", "weighted_fair", "drift"):
             result = make_mixed_fleet(scheduler=policy).run()
             assert result.scheduler == policy
             assert len(result.training_waits) > 0
