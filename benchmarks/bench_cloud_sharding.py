@@ -20,6 +20,12 @@ clouds of 1, 2 and 4 GPU workers under **least-loaded** placement:
 ``REPRO_BENCH_SHARD_FRAMES`` shrink the grid for the CI smoke job (the
 1.5× bar is only asserted when the full 1-vs-4-GPU, 16-camera points
 are present).
+
+Expected runtime: ~4 CPU-minutes at the default benchmark scale.
+
+Environment knobs: the shared ``REPRO_*`` settings variables (see
+:meth:`repro.eval.ExperimentSettings.from_env`) shrink the streams
+and pretraining, as the CI smoke job does.
 """
 
 from __future__ import annotations

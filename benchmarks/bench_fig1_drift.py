@@ -6,6 +6,12 @@ distribution shift.  This benchmark quantifies that illustration: the
 offline (daytime-heavy) student is evaluated per domain segment of a
 day→night stream without any adaptation, and its accuracy must collapse on
 the drifted segments.
+
+Expected runtime: ~1 CPU-minute at the default benchmark scale.
+
+Environment knobs: the shared ``REPRO_*`` settings variables (see
+:meth:`repro.eval.ExperimentSettings.from_env`) shrink the streams
+and pretraining, as the CI smoke job does.
 """
 
 from __future__ import annotations

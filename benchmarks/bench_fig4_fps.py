@@ -8,6 +8,12 @@ Expected shape: Edge-Only sustains the full 30 fps; Shoggoth/Prompt lose a
 few fps on average; AMS keeps ~30 fps (training is in the cloud); Cloud-Only
 is limited by the network/teacher round trip; the Shoggoth trace contains
 clear dips during training windows.
+
+Expected runtime: ~2 CPU-minutes at the default benchmark scale.
+
+Environment knobs: the shared ``REPRO_*`` settings variables (see
+:meth:`repro.eval.ExperimentSettings.from_env`) shrink the streams
+and pretraining, as the CI smoke job does.
 """
 
 from __future__ import annotations

@@ -8,6 +8,12 @@ over the whole stream, not confined to a few segments).
 Expected shape: Cloud-Only dominates (largest gains over most of the CDF);
 the adaptive strategies have mostly non-negative gains; Shoggoth beats
 Edge-Only on a clear majority of windows.
+
+Expected runtime: ~2 CPU-minutes at the default benchmark scale.
+
+Environment knobs: the shared ``REPRO_*`` settings variables (see
+:meth:`repro.eval.ExperimentSettings.from_env`) shrink the streams
+and pretraining, as the CI smoke job does.
 """
 
 from __future__ import annotations

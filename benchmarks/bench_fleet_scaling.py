@@ -11,6 +11,14 @@ queue, batched teacher inference) and one shared uplink/downlink
 * total cloud GPU-seconds grow roughly linearly with fleet size while
   per-camera accuracy degrades only gracefully — the scalability
   argument for cloud-assisted edge inference.
+
+Expected runtime: ~3 CPU-minutes at the default benchmark scale.
+
+Environment knobs: the shared ``REPRO_*`` settings variables (see
+:meth:`repro.eval.ExperimentSettings.from_env`) shrink the streams
+and pretraining, as the CI smoke job does, plus
+``REPRO_BENCH_FLEET_SIZES`` / ``REPRO_BENCH_FLEET_FRAMES`` for the
+fleet grid.
 """
 
 from __future__ import annotations

@@ -19,6 +19,14 @@ The table contrasts mean accuracy, queue delay (mean and max), Jain
 GPU fairness and rejected uploads — the capacity-planning trade-off
 space.  ``REPRO_BENCH_FLEET_SIZES`` / ``REPRO_BENCH_SCHED_FRAMES``
 shrink the configuration for the CI smoke job.
+
+Expected runtime: ~3 CPU-minutes at the default benchmark scale.
+
+Environment knobs: the shared ``REPRO_*`` settings variables (see
+:meth:`repro.eval.ExperimentSettings.from_env`) shrink the streams
+and pretraining, as the CI smoke job does, plus
+``REPRO_BENCH_FLEET_SIZES`` / ``REPRO_BENCH_SCHED_FRAMES`` for the
+policy grid.
 """
 
 from __future__ import annotations

@@ -10,6 +10,13 @@ EXPERIMENTS.md): Cloud-Only has the best mAP and by far the highest
 bandwidth; Shoggoth and the other adaptive strategies recover a large part of
 the Edge-Only→Cloud-Only gap at a small fraction of the bandwidth; Shoggoth's
 downlink is tiny compared to AMS (labels vs streamed models).
+
+Expected runtime: ~3 CPU-minutes at the default benchmark scale
+(five strategies x three datasets).
+
+Environment knobs: the shared ``REPRO_*`` settings variables (see
+:meth:`repro.eval.ExperimentSettings.from_env`) shrink the streams
+and pretraining, as the CI smoke job does.
 """
 
 from __future__ import annotations

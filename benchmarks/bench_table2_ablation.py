@@ -9,6 +9,12 @@ Expected shape: penultimate-layer replay gives the best mAP at close to the
 lowest training time; input-layer replay is far more expensive; freezing the
 front entirely is cheapest but loses some accuracy; dropping the replay
 memory loses the most accuracy.
+
+Expected runtime: ~2 CPU-minutes at the default benchmark scale.
+
+Environment knobs: the shared ``REPRO_*`` settings variables (see
+:meth:`repro.eval.ExperimentSettings.from_env`) shrink the streams
+and pretraining, as the CI smoke job does.
 """
 
 from __future__ import annotations

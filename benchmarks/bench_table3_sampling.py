@@ -6,6 +6,12 @@ Paper: uplink bandwidth (Kbps) and average IoU for fixed sampling rates
 Expected shape: uplink bandwidth grows monotonically with the fixed rate;
 adaptive sampling reaches the best (or near-best) average IoU at a mid-range
 bandwidth, i.e. no fixed rate dominates it on both axes at once.
+
+Expected runtime: ~2 CPU-minutes at the default benchmark scale.
+
+Environment knobs: the shared ``REPRO_*`` settings variables (see
+:meth:`repro.eval.ExperimentSettings.from_env`) shrink the streams
+and pretraining, as the CI smoke job does.
 """
 
 from __future__ import annotations

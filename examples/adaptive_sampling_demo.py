@@ -9,6 +9,12 @@ and prints the controller's rate trajectory and the resulting uplink cost.
 Run with::
 
     python examples/adaptive_sampling_demo.py
+
+Expected runtime: ~1 CPU-minute at the default scale.
+
+Environment knobs: the shared ``REPRO_*`` settings variables (see
+:meth:`repro.eval.ExperimentSettings.from_env`) shrink the streams
+and pretraining, as the CI smoke job does.
 """
 
 from __future__ import annotations

@@ -1,0 +1,146 @@
+"""Elastic autoscaling: one bursty fleet, three provisioning strategies.
+
+A steady cohort of four cameras runs the whole episode while eight
+burst cameras join for only the first half — the demand spike a fixed
+cluster has to be provisioned for.  The same workload runs three ways:
+
+* fixed 1 GPU   — what underprovisioning costs (queue delay balloons
+                  during the burst);
+* fixed 3 GPUs  — peak provisioning: good latency, idle GPUs billed
+                  for the whole quiet tail;
+* ``slo`` autoscaler — starts at 1 GPU, scales out when the observed
+  or projected p95 labeling delay breaches the 0.5 s SLO, drains
+  workers (queued jobs handed off, in-flight work finishing first)
+  after sustained idle.
+
+The printed table compares provisioned GPU-seconds, p95 queue delay
+and SLO violations; the scaling timeline shows every resize and the
+signal that triggered it.
+
+Expected runtime: about a CPU-minute at the default scale.
+
+Run with::
+
+    python examples/autoscaling_demo.py
+
+Environment knobs: the shared ``REPRO_*`` settings variables (see
+:meth:`repro.eval.ExperimentSettings.from_env`) shrink the episode and
+pretraining, e.g. ``REPRO_NUM_FRAMES=240`` in the CI smoke job.
+"""
+
+from __future__ import annotations
+
+from repro.core.autoscaling import SloScaler
+from repro.core.fleet import CameraSpec
+from repro.eval import ExperimentSettings, format_table, prepare_student, run_fleet
+from repro.network.link import LinkConfig, SharedLink
+from repro.video import build_dataset
+
+NUM_STEADY = 4
+NUM_BURST = 8
+MAX_GPUS = 3
+SLO_SECONDS = 0.5
+
+
+def build_cameras(settings: ExperimentSettings) -> list[CameraSpec]:
+    presets = ["detrac", "kitti", "waymo", "stationary"]
+    strategies = ["shoggoth", "shoggoth", "ams", "shoggoth"]
+    cameras = [
+        CameraSpec(
+            name=f"steady{i}",
+            dataset=build_dataset(presets[i % 4], num_frames=settings.num_frames),
+            strategy=strategies[i % 4],
+            seed=i,
+        )
+        for i in range(NUM_STEADY)
+    ]
+    cameras += [
+        CameraSpec(
+            name=f"burst{i}",
+            dataset=build_dataset(
+                presets[i % 4], num_frames=max(1, settings.num_frames // 2)
+            ),
+            strategy="shoggoth",
+            seed=100 + i,
+        )
+        for i in range(NUM_BURST)
+    ]
+    return cameras
+
+
+def main() -> None:
+    settings = ExperimentSettings.from_env(
+        num_frames=600,        # steady cameras: 20 s of 30-fps video
+        eval_stride=3,
+        pretrain_images=200,
+        pretrain_epochs=5,
+    )
+
+    print("Pre-training the shared student detector offline ...")
+    student = prepare_student(settings)
+    link = LinkConfig(uplink_kbps=10_000.0, downlink_kbps=20_000.0)
+
+    def scaler() -> SloScaler:
+        return SloScaler(
+            slo_seconds=SLO_SECONDS,
+            interval_seconds=1.0,
+            window_seconds=4.0,
+            cooldown_seconds=1.0,
+            min_gpus=1,
+            max_gpus=MAX_GPUS,
+            scale_in_utilization=0.6,
+            sustained_idle_ticks=2,
+            hysteresis_fraction=1.0,
+        )
+
+    rows = []
+    print(f"Running {NUM_STEADY}+{NUM_BURST} bursty cameras on a fixed 1-GPU cloud ...")
+    rows.append(
+        run_fleet(
+            build_cameras(settings), student, settings=settings,
+            link=SharedLink(link), num_gpus=1, placement="least_loaded",
+        ).autoscale_row()
+    )
+    print(f"Running the same burst on a fixed {MAX_GPUS}-GPU cloud ...")
+    rows.append(
+        run_fleet(
+            build_cameras(settings), student, settings=settings,
+            link=SharedLink(link), num_gpus=MAX_GPUS, placement="least_loaded",
+        ).autoscale_row()
+    )
+    print(f"Running it elastically under the SLO scaler (1..{MAX_GPUS} GPUs) ...")
+    elastic = run_fleet(
+        build_cameras(settings), student, settings=settings,
+        link=SharedLink(link), num_gpus=1, placement="least_loaded",
+        autoscaler=scaler(),
+    )
+    rows.append(elastic.autoscale_row())
+
+    print()
+    print(
+        format_table(
+            rows,
+            title=(
+                f"Elastic autoscaling — {NUM_BURST}-camera burst over "
+                f"{NUM_STEADY} steady cameras, SLO {SLO_SECONDS}s"
+            ),
+        )
+    )
+    print("\nSLO-scaler timeline:")
+    for event in elastic.fleet.scaling_events:
+        print(" ", event.reason)
+    if not elastic.fleet.scaling_events:
+        print("  (no resizes at this scale)")
+    print(
+        "\nHow to read this: the fixed 1-GPU row eats the burst as queue "
+        "delay; the fixed peak-provisioned row pays for idle GPUs the "
+        "whole quiet tail. The SLO scaler rides the burst — scale-outs "
+        "within seconds of the projected p95 breaching the SLO, drains "
+        "after sustained idle — so 'provisioned GPU-s' drops toward the "
+        "work actually done while 'p95 delay' stays at the fixed-cluster "
+        "level."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -11,6 +11,12 @@ night, then shows:
 Run with::
 
     python examples/day_night_drift.py
+
+Expected runtime: ~1 CPU-minute at the default scale.
+
+Environment knobs: the shared ``REPRO_*`` settings variables (see
+:meth:`repro.eval.ExperimentSettings.from_env`) shrink the streams
+and pretraining, as the CI smoke job does.
 """
 
 from __future__ import annotations

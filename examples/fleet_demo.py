@@ -14,6 +14,12 @@ Demonstrates the event-driven multi-camera API:
 Run with::
 
     python examples/fleet_demo.py
+
+Expected runtime: ~1 CPU-minute at the default scale.
+
+Environment knobs: the shared ``REPRO_*`` settings variables (see
+:meth:`repro.eval.ExperimentSettings.from_env`) shrink the streams
+and pretraining, as the CI smoke job does.
 """
 
 from __future__ import annotations

@@ -11,6 +11,12 @@ This example walks through the whole public API in a few lines:
 Run with::
 
     python examples/quickstart.py
+
+Expected runtime: about a CPU-minute at the default scale.
+
+Environment knobs: the shared ``REPRO_*`` settings variables (see
+:meth:`repro.eval.ExperimentSettings.from_env`) shrink the streams
+and pretraining, as the CI smoke job does.
 """
 
 from __future__ import annotations

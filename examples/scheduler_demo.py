@@ -22,6 +22,12 @@ fairness versus label coverage.
 Run with::
 
     python examples/scheduler_demo.py
+
+Expected runtime: ~2 CPU-minutes at the default scale.
+
+Environment knobs: the shared ``REPRO_*`` settings variables (see
+:meth:`repro.eval.ExperimentSettings.from_env`) shrink the streams
+and pretraining, as the CI smoke job does.
 """
 
 from __future__ import annotations

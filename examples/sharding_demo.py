@@ -22,6 +22,12 @@ workers for the last row, prioritising measurably-drifting cameras.
 Run with::
 
     python examples/sharding_demo.py
+
+Expected runtime: ~2 CPU-minutes at the default scale.
+
+Environment knobs: the shared ``REPRO_*`` settings variables (see
+:meth:`repro.eval.ExperimentSettings.from_env`) shrink the streams
+and pretraining, as the CI smoke job does.
 """
 
 from __future__ import annotations

@@ -9,6 +9,13 @@ trade-off each one achieves.
 Run with::
 
     python examples/traffic_surveillance.py
+
+Expected runtime: ~2 CPU-minutes at the default scale (all five
+strategies on one stream).
+
+Environment knobs: the shared ``REPRO_*`` settings variables (see
+:meth:`repro.eval.ExperimentSettings.from_env`) shrink the streams
+and pretraining, as the CI smoke job does.
 """
 
 from __future__ import annotations

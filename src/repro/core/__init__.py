@@ -70,6 +70,17 @@ from repro.core.scheduling import (
     jain_fairness,
 )
 from repro.core.cluster import CloudCluster
+from repro.core.autoscaling import (
+    AutoscaleSignal,
+    AutoscalePolicy,
+    NoScaler,
+    SloScaler,
+    StepScaler,
+    AUTOSCALERS,
+    build_autoscaler,
+    ScalingEvent,
+    AutoscaleController,
+)
 from repro.core.fleet import CameraSpec, FleetCameraResult, FleetResult, FleetSession
 from repro.core.strategies import (
     Strategy,
@@ -127,6 +138,15 @@ __all__ = [
     "build_placement",
     "jain_fairness",
     "CloudCluster",
+    "AutoscaleSignal",
+    "AutoscalePolicy",
+    "NoScaler",
+    "SloScaler",
+    "StepScaler",
+    "AUTOSCALERS",
+    "build_autoscaler",
+    "ScalingEvent",
+    "AutoscaleController",
     "CameraSpec",
     "FleetSession",
     "FleetCameraResult",

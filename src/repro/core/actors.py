@@ -66,6 +66,7 @@ from repro.network.messages import (
 )
 from repro.runtime.device import EdgeComputeModel
 from repro.runtime.events import (
+    AutoscaleTick,
     Event,
     EventScheduler,
     FrameArrival,
@@ -121,6 +122,7 @@ class InstantTransport:
         lambda_usage: float,
         now: float,
     ) -> None:
+        """Deliver an upload at the instant it was sent (bandwidth accounted)."""
         actor.accountant.record_uplink(upload, now)
         scheduler.schedule(
             UploadComplete(
@@ -140,6 +142,7 @@ class InstantTransport:
         response: LabelingResponse,
         now: float,
     ) -> None:
+        """Deliver teacher labels to the edge in the same simulated instant."""
         scheduler.schedule(
             LabelsReady(time=now, camera_id=actor.camera_id, response=response)
         )
@@ -152,6 +155,7 @@ class InstantTransport:
         model_state: dict,
         now: float,
     ) -> None:
+        """Stream a model update over the closed-form point-to-point downlink."""
         actor.accountant.record_downlink(update, now)
         arrival = now + self.link.downlink_seconds(update)
         previous = self._pending_model.get(actor.camera_id)
@@ -165,10 +169,10 @@ class InstantTransport:
 
     # delivery hooks: nothing in flight to retire for the instant transport
     def uplink_delivered(self, scheduler: EventScheduler, now: float) -> None:
-        pass
+        """No-op: instant uploads have nothing in flight to retire."""
 
     def downlink_delivered(self, scheduler: EventScheduler, now: float) -> None:
-        pass
+        """No-op: instant downloads have nothing in flight to retire."""
 
 
 class SharedLinkTransport:
@@ -196,6 +200,7 @@ class SharedLinkTransport:
         lambda_usage: float,
         now: float,
     ) -> None:
+        """Start the upload on the shared uplink and re-project completions."""
         actor.accountant.record_uplink(upload, now)
         self.link.begin_uplink(
             upload,
@@ -212,6 +217,7 @@ class SharedLinkTransport:
         response: LabelingResponse,
         now: float,
     ) -> None:
+        """Start the label download on the shared downlink."""
         message = LabelDownload(
             num_frames=len(response.labeled_frames), num_boxes=response.num_boxes
         )
@@ -228,6 +234,7 @@ class SharedLinkTransport:
         model_state: dict,
         now: float,
     ) -> None:
+        """Start a model-update download on the shared downlink."""
         actor.accountant.record_downlink(update, now)
         self.link.begin_downlink(
             update, now, camera_id=actor.camera_id, payload=("model", actor, model_state)
@@ -236,6 +243,7 @@ class SharedLinkTransport:
 
     # -- delivery ------------------------------------------------------------
     def uplink_delivered(self, scheduler: EventScheduler, now: float) -> None:
+        """Retire the finished uplink transfer and re-project the next one."""
         if self._pending_up is not None:
             _, transfer = self._pending_up
             self._pending_up = None
@@ -243,6 +251,7 @@ class SharedLinkTransport:
         self._sync_uplink(scheduler, now)
 
     def downlink_delivered(self, scheduler: EventScheduler, now: float) -> None:
+        """Retire the finished downlink transfer and re-project the next one."""
         if self._pending_down is not None:
             _, transfer = self._pending_down
             self._pending_down = None
@@ -366,6 +375,15 @@ class CloudActor:
         #: φ-aware scheduler sees every measurement (φ is a property of
         #: the camera, not of the worker that happened to label it)
         self.label_observer = label_observer or self.scheduler.on_labeled
+        #: set by a cluster when this worker is being scaled in: a
+        #: draining worker takes no new placements, finishes (or hands
+        #: off) what it has, then retires; its id is never reused
+        self.draining = False
+        #: provisioning lifetime stamps (simulated seconds), maintained
+        #: by the cluster: when this worker started charging capacity,
+        #: and when it stopped (None while provisioned)
+        self.provisioned_since = 0.0
+        self.retired_at: float | None = None
         self.queue: deque[GpuJob] = deque()
         #: labeling jobs in completion order (queue-delay statistics)
         self.completed_jobs: list[GpuJob] = []
@@ -469,6 +487,20 @@ class CloudActor:
         self, job: GpuJob, now: float, scheduler: EventScheduler
     ) -> None:
         """Queue a cloud-training job (never rejected: the labels are paid for)."""
+        self.accept_handoff(job, now, scheduler)
+
+    def accept_handoff(
+        self, job: GpuJob, now: float, scheduler: EventScheduler
+    ) -> None:
+        """Queue a job without re-running admission (drain handoff path).
+
+        Used when a draining worker's queued jobs move here: those jobs
+        were already admitted once and their uplink is paid for, so a
+        second admission decision could only wrongly drop them.  The
+        job keeps its original ``arrival``, so its eventual queue-delay
+        statistic honestly includes the time spent on the drained
+        worker's queue.
+        """
         job.worker_id = self.worker_id
         self.queue.append(job)
         self._maybe_start_service(now, scheduler)
@@ -498,6 +530,7 @@ class CloudActor:
         enqueue(self.make_labeling_job(event), event.time, scheduler)
 
     def on_labeling_done(self, event: LabelingDone, scheduler: EventScheduler) -> None:
+        """Finish a busy period: send labels / trained weights back, restart."""
         for job in event.jobs:
             job.completion = event.time
             actor = self.tenants[job.camera_id].actor
@@ -577,6 +610,7 @@ class CloudActor:
     def make_training_job(
         self, actor: "EdgeActor", pool: list[LabeledFrame], now: float
     ) -> GpuJob:
+        """Wrap a filled label pool into a queued cloud-training job."""
         cfg = actor.config.training
         estimated_steps = cfg.epochs * max(
             1, -(-len(pool) // max(1, cfg.minibatch_size))
@@ -723,6 +757,7 @@ class EdgeActor:
 
     # -- event handlers -----------------------------------------------------
     def on_frame(self, frame: Frame, now: float, scheduler: EventScheduler) -> None:
+        """Process one frame: evaluate, maybe sample, maybe start an upload."""
         options = self.options
         self.frames_seen += 1
         self.motion_total += frame.motion
@@ -773,6 +808,7 @@ class EdgeActor:
     def on_labels(
         self, response: LabelingResponse, now: float, scheduler: EventScheduler
     ) -> None:
+        """Apply labels: adjust sampling, train at the edge or pool for AMS."""
         options = self.options
         self.accountant.record_downlink(
             LabelDownload(
@@ -804,10 +840,12 @@ class EdgeActor:
         on the timeline (schedulers can key off it)."""
 
     def on_model_download(self, event: ModelDownloadComplete) -> None:
+        """Install freshly streamed student weights on the edge (AMS)."""
         self.edge.apply_model_update(event.model_state)
 
     # -- result assembly ------------------------------------------------------
     def build_result(self, cloud_gpu_seconds: float) -> SessionResult:
+        """Assemble this camera's per-session metrics after the run."""
         duration = self.dataset.num_frames / self.dataset.fps
         mean_motion = self.motion_total / max(1, self.dataset.num_frames)
         fps_trace, util_trace = self._build_traces(duration, self.dataset.fps, mean_motion)
@@ -898,15 +936,19 @@ class SessionKernel:
         cloud_actor: "CloudActor",
         transport: InstantTransport | SharedLinkTransport,
         streams: dict[int, Iterator[Frame]],
+        autoscaler: object | None = None,
     ) -> None:
         # ``cloud_actor`` may equally be a cluster
         # (:class:`~repro.core.cluster.CloudCluster`): anything exposing
         # the on_upload / on_labeling_done handlers routes here.
+        # ``autoscaler`` is the fleet's AutoscaleController (None for
+        # single-camera sessions, which never schedule ticks).
         self.scheduler = scheduler
         self.edge_actors = edge_actors
         self.cloud_actor = cloud_actor
         self.transport = transport
         self.streams = streams
+        self.autoscaler = autoscaler
 
     def _schedule_next_frame(self, camera_id: int) -> None:
         frame = next(self.streams[camera_id], None)
@@ -933,6 +975,7 @@ class SessionKernel:
             self.dispatch(event)
 
     def dispatch(self, event: Event) -> None:
+        """Route one popped event to the actor (or controller) that handles it."""
         scheduler = self.scheduler
         if isinstance(event, FrameArrival):
             self.edge_actors[event.camera_id].on_frame(event.frame, event.time, scheduler)
@@ -950,5 +993,12 @@ class SessionKernel:
             self.edge_actors[event.camera_id].on_model_download(event)
         elif isinstance(event, TrainingDone):
             self.edge_actors[event.camera_id].on_training_done(event)
+        elif isinstance(event, AutoscaleTick):
+            if self.autoscaler is None:
+                raise TypeError(
+                    "AutoscaleTick scheduled but no autoscale controller "
+                    "is attached to this kernel"
+                )
+            self.autoscaler.on_tick(event, scheduler)
         else:  # pragma: no cover - defensive
             raise TypeError(f"unroutable event: {event!r}")

@@ -95,6 +95,7 @@ class AdaptiveTrainer:
     # -- setup ------------------------------------------------------------
     @property
     def replay_layer(self) -> str:
+        """The frozen cut-point layer name whose activations feed replay."""
         return self.config.replay_layer
 
     @property

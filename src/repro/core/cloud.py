@@ -44,6 +44,7 @@ class LabelingResponse:
 
     @property
     def num_boxes(self) -> int:
+        """Total pseudo-label boxes across the labeled frames."""
         return sum(item.num_boxes for item in self.labeled_frames)
 
 
@@ -125,6 +126,7 @@ class CloudServer:
 
     @property
     def hosts_training(self) -> bool:
+        """Whether this server fine-tunes a cloud-resident student (AMS)."""
         return self._cloud_trainer is not None
 
     def train_on_labels(self, labeled: list[LabeledFrame]) -> CloudTrainingResult:

@@ -29,10 +29,29 @@ A 1-worker cluster under round-robin placement routes every job to
 worker 0 through exactly the code paths of the single-GPU cloud, which
 is why it reproduces the PR 2 FIFO fleet metrics bit-for-bit (pinned by
 ``tests/core/test_cluster.py``).
+
+The cluster can also be resized **online** (the elastic-autoscaling
+subsystem, :mod:`repro.core.autoscaling`, drives this from a queue-delay
+signal): :meth:`add_worker` brings up a new GPU worker mid-run — it
+inherits the shared tenant registry and accounting, gets a fresh
+scheduler instance pre-seeded with tenant weights and the last measured
+per-camera φ, and starts taking placements immediately —
+while :meth:`remove_worker` *drains* a worker: it stops accepting
+placements at once, its queued jobs are handed off to the surviving
+workers through the placement policy (without re-running admission —
+those jobs already paid for their uplink), and its in-flight busy
+period finishes normally before the worker retires.  Worker ids are
+never reused or renumbered, so in-flight
+:class:`~repro.runtime.events.LabelingDone` completions always route
+back to the worker that started them.  Every resize is appended to a
+provision log from which :meth:`provisioned_gpu_seconds` integrates the
+capacity the fleet actually paid for (GPU-seconds), the currency the
+autoscaling benchmark compares against a fixed-size cluster.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Callable, Sequence
 
 from repro.core.actors import CloudActor, InstantTransport, SharedLinkTransport
@@ -81,6 +100,8 @@ class CloudCluster:
             raise ValueError(f"a cluster needs at least one GPU, got {num_gpus}")
         self.num_gpus = num_gpus
         self.placement = build_placement(placement)
+        #: how new workers get their scheduler (kept for online resizes)
+        self._scheduler_spec = scheduler
         self.schedulers = self._resolve_schedulers(scheduler, num_gpus)
         self.workers: list[CloudActor] = []
         #: shared across workers (see module docstring)
@@ -88,6 +109,13 @@ class CloudCluster:
         self.gpu_seconds_by_camera: dict[int, float] = {}
         self._last_worker: dict[int, int] = {}
         self._migrations: dict[int, int] = {}
+        #: capacity deltas as (time, +/-workers); integrated by
+        #: :meth:`provisioned_gpu_seconds`
+        self._provision_log: list[tuple[float, int]] = []
+        #: last measured (φ, time) per camera, replayed into the
+        #: scheduler of a worker added mid-run so no shard ever treats
+        #: an already-measured camera as unmeasured drift
+        self._last_phi: dict[int, tuple[float, float]] = {}
 
     @staticmethod
     def _resolve_schedulers(
@@ -123,11 +151,48 @@ class CloudCluster:
     # -- identity ------------------------------------------------------------
     @property
     def scheduler_name(self) -> str:
+        """Registered name of the per-worker GPU scheduling policy."""
         return self.schedulers[0].name
 
     @property
     def placement_name(self) -> str:
+        """Registered name of the placement policy in front of the workers."""
         return self.placement.name
+
+    @property
+    def active_workers(self) -> list[CloudActor]:
+        """Workers currently accepting placements (excludes draining ones)."""
+        return [worker for worker in self.workers if not worker.draining]
+
+    @property
+    def num_active(self) -> int:
+        """How many GPU workers currently accept placements."""
+        return len(self.active_workers)
+
+    @property
+    def can_grow(self) -> bool:
+        """Whether :meth:`add_worker` can mint schedulers for new workers.
+
+        False only for clusters built around a single ready
+        :class:`GpuScheduler` instance — there is no recipe to build
+        another one, so online scale-out is impossible.
+        """
+        return not isinstance(self._scheduler_spec, GpuScheduler)
+
+    def num_charging(self, now: float) -> int:
+        """Workers currently charging provisioned capacity at ``now``.
+
+        Active workers, plus draining ones that are still finishing —
+        an in-flight busy period, or (no-drain removals) a kept queue.
+        This is the count the autoscaler bounds with ``max_gpus``: a
+        drained worker's tail is still paid for, so replacing it early
+        would exceed the spend bound.
+        """
+        return self.num_active + sum(
+            1
+            for worker in self.workers
+            if worker.draining and (worker.busy_until > now + 1e-12 or worker.queue)
+        )
 
     @property
     def queue_training(self) -> bool:
@@ -149,7 +214,9 @@ class CloudCluster:
             )
         self.cloud = cloud
         self.transport = transport
+        self.batch_overhead_seconds = batch_overhead_seconds
         self.placement.reset()
+        self._provision_log.append((0.0, self.num_gpus))
         for worker_id, scheduler in enumerate(self.schedulers):
             scheduler.reset()
             self.workers.append(
@@ -172,6 +239,7 @@ class CloudCluster:
         return self
 
     def _broadcast_label(self, camera_id: int, phi: float, now: float) -> None:
+        self._last_phi[camera_id] = (phi, now)
         for scheduler in self.schedulers:
             scheduler.on_labeled(camera_id, phi, now)
 
@@ -198,14 +266,181 @@ class CloudCluster:
         for worker in self.workers[1:]:
             worker.scheduler.register_tenant(actor.camera_id, weight=weight)
 
+    # -- elastic resize (online autoscaling) ----------------------------------
+    def _new_scheduler(self) -> GpuScheduler:
+        """Build one more per-worker scheduler from the construction spec."""
+        spec = self._scheduler_spec
+        if isinstance(spec, GpuScheduler):
+            raise ValueError(
+                "cannot grow a cluster built around a single GpuScheduler "
+                "instance; construct it with a policy name or a zero-arg "
+                "factory so new workers can get their own scheduler state"
+            )
+        if spec is None or isinstance(spec, str):
+            return build_scheduler(spec)
+        built = spec()
+        if not isinstance(built, GpuScheduler) or any(
+            built is existing for existing in self.schedulers
+        ):
+            raise ValueError(
+                "scheduler factory must produce a fresh GpuScheduler "
+                f"instance per worker, got {built!r}"
+            )
+        return built
+
+    def add_worker(self, now: float = 0.0) -> CloudActor:
+        """Bring one more GPU worker online mid-run (scale-out).
+
+        The worker shares the tenant registry and per-tenant accounting,
+        gets a fresh scheduler pre-registered with every tenant's weight
+        and replayed with the last measured φ per camera, and starts
+        taking placements from the next arriving job.  Returns the new
+        worker (its ``worker_id`` is the next never-reused index).
+        """
+        if not self.workers:
+            raise RuntimeError("bind the cluster before resizing it")
+        scheduler = self._new_scheduler()
+        scheduler.reset()
+        for camera_id, weight in self.schedulers[0].weights.items():
+            scheduler.register_tenant(camera_id, weight=weight)
+        for camera_id, (phi, measured_at) in self._last_phi.items():
+            scheduler.on_labeled(camera_id, phi, measured_at)
+        worker = CloudActor(
+            self.cloud,
+            self.transport,
+            queued=True,
+            batch_overhead_seconds=self.batch_overhead_seconds,
+            scheduler=scheduler,
+            worker_id=len(self.workers),
+            tenants=self.tenants,
+            gpu_seconds_by_camera=self.gpu_seconds_by_camera,
+            label_observer=self._broadcast_label,
+        )
+        worker.provisioned_since = now
+        self.workers.append(worker)
+        self.schedulers.append(scheduler)
+        self._provision_log.append((now, +1))
+        return worker
+
+    def remove_worker(
+        self,
+        worker_id: int | None = None,
+        *,
+        now: float = 0.0,
+        scheduler: EventScheduler | None = None,
+        drain: bool = True,
+    ) -> CloudActor:
+        """Take one GPU worker offline (scale-in), draining it by default.
+
+        The worker stops accepting placements immediately.  With
+        ``drain`` (the default) its *queued* jobs are handed off to the
+        surviving workers through the placement policy — admission is
+        not re-run, because a handed-off upload already paid its uplink
+        and dropping it would silently strand the edge on stale weights
+        — while its in-flight busy period finishes normally (the
+        completion event still routes back via the worker's never-reused
+        id).  Without ``drain`` the worker keeps its queue and simply
+        retires once it runs dry; its provision-log retirement stamp is
+        then an *estimate* (``now`` + pending GPU-seconds), a lower
+        bound that excludes the per-batch overhead of busy periods it
+        has not started yet.  ``worker_id`` picks the victim; by
+        default the active worker with the least pending GPU-seconds
+        (ties: the newest) is drained.  Refuses to remove the last
+        active worker.  Returns the drained worker.
+        """
+        active = self.active_workers
+        if len(active) <= 1:
+            raise ValueError(
+                "cannot remove the last active GPU worker; a cluster needs "
+                "at least one"
+            )
+        if worker_id is None:
+            victim = min(
+                active,
+                key=lambda worker: (worker.pending_gpu_seconds(now), -worker.worker_id),
+            )
+        else:
+            if not 0 <= worker_id < len(self.workers):
+                raise ValueError(
+                    f"no worker {worker_id} in a cluster of {len(self.workers)}"
+                )
+            victim = self.workers[worker_id]
+            if victim.draining:
+                raise ValueError(f"worker {worker_id} is already draining")
+        # validate BEFORE mutating: raising after marking the victim
+        # draining would strand it half-removed (no placements, yet
+        # charging provisioned capacity forever, and unremovable)
+        if drain and victim.queue and scheduler is None:
+            raise ValueError("draining a worker's queue needs the event scheduler")
+        victim.draining = True
+        if drain and victim.queue:
+            handoff, victim.queue = list(victim.queue), deque()
+            for job in handoff:
+                self._place_handoff(job, now, scheduler)
+        # provisioned until its in-flight busy period ends (with drain the
+        # queue is gone; without, an estimated run-dry time: the kept
+        # backlog's service, excluding overheads of unstarted periods)
+        retired_at = (
+            max(now, victim.busy_until)
+            if drain
+            else now + victim.pending_gpu_seconds(now)
+        )
+        victim.retired_at = retired_at
+        self._provision_log.append((retired_at, -1))
+        return victim
+
+    def _place_handoff(
+        self, job: GpuJob, now: float, scheduler: EventScheduler
+    ) -> None:
+        worker = self._active_at(self.placement.place(job, self.active_workers, now))
+        self._record_placement(job.camera_id, worker.worker_id)
+        worker.accept_handoff(job, now, scheduler)
+
+    # -- provisioned capacity -------------------------------------------------
+    def provisioned_gpu_seconds(self, horizon: float) -> float:
+        """Integrate provisioned capacity over [0, horizon], in GPU-seconds.
+
+        A fixed cluster yields exactly ``num_gpus * horizon``; every
+        online resize bends the step function (a draining worker counts
+        until its in-flight busy period ends — capacity the operator is
+        still paying for).
+        """
+        total = 0.0
+        count = 0
+        previous = 0.0
+        for time, delta in sorted(self._provision_log):
+            clipped = min(max(time, 0.0), horizon)
+            total += count * (clipped - previous)
+            previous = clipped
+            count += delta
+        total += count * (max(horizon, previous) - previous)
+        return total
+
+    def provision_timeline(self) -> list[tuple[float, int]]:
+        """Cumulative (time, provisioned workers) steps, time-sorted."""
+        timeline: list[tuple[float, int]] = []
+        count = 0
+        for time, delta in sorted(self._provision_log):
+            count += delta
+            timeline.append((time, count))
+        return timeline
+
     # -- placement ------------------------------------------------------------
     def _worker_at(self, index: int) -> CloudActor:
         if not 0 <= index < len(self.workers):
             raise ValueError(
-                f"placement {self.placement_name!r} chose worker {index} of "
-                f"{len(self.workers)}"
+                f"no worker {index} in a cluster of {len(self.workers)}"
             )
         return self.workers[index]
+
+    def _active_at(self, index: int) -> CloudActor:
+        active = self.active_workers
+        if not 0 <= index < len(active):
+            raise ValueError(
+                f"placement {self.placement_name!r} chose worker {index} of "
+                f"{len(active)} active"
+            )
+        return active[index]
 
     def _record_placement(self, camera_id: int, worker_id: int) -> None:
         previous = self._last_worker.get(camera_id)
@@ -216,14 +451,14 @@ class CloudCluster:
     def _enqueue_labeling_placed(
         self, job: GpuJob, now: float, scheduler: EventScheduler
     ) -> None:
-        worker = self._worker_at(self.placement.place(job, self.workers, now))
+        worker = self._active_at(self.placement.place(job, self.active_workers, now))
         if worker.enqueue_labeling(job, now, scheduler):
             self._record_placement(job.camera_id, worker.worker_id)
 
     def _enqueue_training_placed(
         self, job: GpuJob, now: float, scheduler: EventScheduler
     ) -> None:
-        worker = self._worker_at(self.placement.place(job, self.workers, now))
+        worker = self._active_at(self.placement.place(job, self.active_workers, now))
         self._record_placement(job.camera_id, worker.worker_id)
         worker.enqueue_training(job, now, scheduler)
 
@@ -233,11 +468,13 @@ class CloudCluster:
     # only swaps the final enqueue step for a placement-aware one, so
     # the single-GPU and sharded clouds cannot drift apart.
     def on_upload(self, event: UploadComplete, scheduler: EventScheduler) -> None:
+        """Route an arrived upload through placement onto one worker's queue."""
         self.workers[0].on_upload(
             event, scheduler, enqueue=self._enqueue_labeling_placed
         )
 
     def on_labeling_done(self, event: LabelingDone, scheduler: EventScheduler) -> None:
+        """Route a busy-period completion back to the worker that ran it."""
         self._worker_at(event.worker_id).on_labeling_done(event, scheduler)
 
     def on_labels_for_training(
@@ -272,6 +509,7 @@ class CloudCluster:
 
     @property
     def gpu_busy_by_worker(self) -> list[float]:
+        """Busy seconds per worker (every worker ever provisioned)."""
         return [worker.busy_seconds for worker in self.workers]
 
     @staticmethod
@@ -287,18 +525,22 @@ class CloudCluster:
 
     @property
     def completed_training_jobs(self) -> list[GpuJob]:
+        """Served cloud-training jobs across all workers, in completion order."""
         return self._merge_completed([w.completed_training_jobs for w in self.workers])
 
     @property
     def queue_waits(self) -> list[float]:
+        """Per-job labeling-queue delays (seconds), in completion order."""
         return [job.wait_seconds for job in self.completed_jobs]
 
     @property
     def training_waits(self) -> list[float]:
+        """Queue delays (seconds) of cloud-training jobs, in completion order."""
         return [job.wait_seconds for job in self.completed_training_jobs]
 
     @property
     def rejections_by_camera(self) -> dict[int, int]:
+        """Uploads admission control turned away, summed per tenant."""
         counts: dict[int, int] = {camera_id: 0 for camera_id in self.tenants}
         for worker in self.workers:
             for job in worker.rejected_jobs:
@@ -315,6 +557,7 @@ class CloudCluster:
 
     @property
     def num_migrations(self) -> int:
+        """Total cross-worker camera moves over the run."""
         return sum(self._migrations.values())
 
     @property

@@ -39,6 +39,7 @@ class TrainingWindow:
 
     @property
     def duration(self) -> float:
+        """Wall-clock length of the training window in seconds."""
         return self.end - self.start
 
 

@@ -34,6 +34,12 @@ import numpy as np
 
 from repro.core.actors import EdgeActor, SessionKernel, SharedLinkTransport
 from repro.core.adaptive_training import AdaptiveTrainer
+from repro.core.autoscaling import (
+    AutoscaleController,
+    AutoscalePolicy,
+    ScalingEvent,
+    build_autoscaler,
+)
 from repro.core.cloud import CloudServer
 from repro.core.cluster import CloudCluster, SchedulerSpec
 from repro.core.config import ShoggothConfig
@@ -86,6 +92,7 @@ class CameraSpec:
             )
 
     def resolve_options(self) -> SessionOptions:
+        """Resolve the strategy name (or explicit options) to run with."""
         if isinstance(self.strategy, SessionOptions):
             return self.strategy
         return build_strategy(self.strategy).options
@@ -104,6 +111,7 @@ class FleetCameraResult:
 
     @property
     def mean_upload_latency(self) -> float:
+        """Mean uplink transfer time of this camera's uploads (seconds)."""
         return reduce_metric(self.upload_latencies)
 
 
@@ -125,38 +133,102 @@ class FleetResult:
     #: sharded-cloud shape: GPU workers and the placement that fed them
     num_gpus: int = 1
     placement: str = "round_robin"
-    #: per-GPU busy seconds (one entry per worker; sums to
-    #: ``cloud_busy_seconds``)
+    #: per-GPU busy seconds (one entry per worker ever provisioned;
+    #: sums to ``cloud_busy_seconds``)
     gpu_busy_by_worker: list[float] = field(default_factory=list)
     #: how often each camera's jobs moved between workers
     migrations_by_camera: dict[str, int] = field(default_factory=dict)
+    #: which autoscale policy (if any) resized the cluster ("none" = fixed)
+    autoscaler: str = "none"
+    #: the scaling timeline: one entry per worker added or drained
+    scaling_events: list[ScalingEvent] = field(default_factory=list)
+    #: integral of provisioned GPUs over the run (GPU-seconds) — the
+    #: capacity the operator paid for, as opposed to ``cloud_busy_seconds``
+    #: (the capacity actually used)
+    gpu_seconds_provisioned: float = 0.0
+    #: the autoscale policy's queue-delay SLO (None = no latency target)
+    slo_seconds: float | None = None
+    #: fraction of labeling jobs whose queue delay exceeded the policy's
+    #: SLO (0.0 when the policy has no latency target — check
+    #: ``slo_seconds`` to tell "met the SLO" from "had none")
+    slo_violation_fraction: float = 0.0
 
     @property
     def num_cameras(self) -> int:
+        """How many cameras the fleet ran."""
         return len(self.cameras)
 
     @property
     def num_migrations(self) -> int:
+        """Total cross-worker camera moves over the run."""
         return sum(self.migrations_by_camera.values())
 
     @property
+    def num_scale_outs(self) -> int:
+        """Workers added by the autoscaler over the run."""
+        return sum(1 for event in self.scaling_events if event.action == "scale_out")
+
+    @property
+    def num_scale_ins(self) -> int:
+        """Workers drained by the autoscaler over the run."""
+        return sum(1 for event in self.scaling_events if event.action == "scale_in")
+
+    @property
+    def mean_gpu_count(self) -> float:
+        """Time-weighted mean provisioned GPU count over the run."""
+        if self.duration_seconds <= 0:
+            return float(self.num_gpus)
+        capacity = self.gpu_seconds_provisioned or (
+            self.num_gpus * self.duration_seconds
+        )
+        return capacity / self.duration_seconds
+
+    @property
+    def peak_num_gpus(self) -> int:
+        """Largest number of simultaneously active workers over the run."""
+        count = peak = self.num_gpus
+        for event in self.scaling_events:
+            count = event.num_gpus_after
+            peak = max(peak, count)
+        return peak
+
+    @property
+    def final_num_gpus(self) -> int:
+        """Active workers when the run ended (== ``num_gpus`` if fixed)."""
+        if not self.scaling_events:
+            return self.num_gpus
+        return self.scaling_events[-1].num_gpus_after
+
+    @property
+    def p95_queue_delay(self) -> float:
+        """95th-percentile labeling-queue delay over the whole run (seconds)."""
+        return reduce_metric(
+            self.queue_waits, reducer=lambda w: np.percentile(w, 95.0)
+        )
+
+    @property
     def mean_queue_delay(self) -> float:
+        """Mean labeling-queue delay over the whole run (seconds)."""
         return reduce_metric(self.queue_waits)
 
     @property
     def max_queue_delay(self) -> float:
+        """Worst labeling-queue delay over the whole run (seconds)."""
         return reduce_metric(self.queue_waits, reducer=np.max)
 
     @property
     def mean_training_wait(self) -> float:
+        """Mean queue delay of AMS cloud-training jobs (seconds)."""
         return reduce_metric(self.training_waits)
 
     @property
     def rejected_by_camera(self) -> dict[str, int]:
+        """Uploads admission control turned away, per camera name."""
         return {entry.camera: entry.rejected_uploads for entry in self.cameras}
 
     @property
     def num_rejected_uploads(self) -> int:
+        """Total uploads admission control turned away."""
         return sum(self.rejected_by_camera.values())
 
     @property
@@ -181,17 +253,22 @@ class FleetResult:
 
     @property
     def cloud_utilization(self) -> float:
-        """Busy fraction of the cloud's *total* GPU capacity.
+        """Busy fraction of the cloud's *provisioned* GPU capacity.
 
-        Shard-aware: the denominator is ``num_gpus × duration``, i.e.
+        Shard-aware: the denominator is the provisioned GPU-seconds
+        integral (``num_gpus × duration`` for a fixed cluster), i.e.
         per-GPU busy time weighted into one capacity pool, so a 4-GPU
         cloud at 25% per worker reports 0.25 — not the sum of per-GPU
         fractions (>1) or their naive average over a wrong base.  With
-        one GPU this reduces exactly to the pre-sharding definition.
+        one fixed GPU this reduces exactly to the pre-sharding
+        definition; under autoscaling the denominator follows the
+        cluster's actual size over time.
         """
         if self.duration_seconds <= 0:
             return 0.0
-        capacity = max(1, self.num_gpus) * self.duration_seconds
+        capacity = self.gpu_seconds_provisioned or (
+            max(1, self.num_gpus) * self.duration_seconds
+        )
         return min(1.0, self.cloud_busy_seconds / capacity)
 
     @property
@@ -209,6 +286,7 @@ class FleetResult:
         return jain_fairness(self.gpu_busy_by_worker or [self.cloud_busy_seconds])
 
     def session(self, camera: str) -> SessionResult:
+        """Full per-camera :class:`SessionResult` looked up by camera name."""
         for entry in self.cameras:
             if entry.camera == camera:
                 return entry.session
@@ -230,7 +308,11 @@ class FleetSession:
     ``"power_of_two"``) shard the cloud into a
     :class:`~repro.core.cluster.CloudCluster`; alternatively pass a
     ready ``cluster`` and leave the three policy knobs at their
-    defaults.
+    defaults.  ``autoscaler`` picks the elastic-scaling policy
+    (``"none"`` — the default, fixed cluster —, ``"slo"``, ``"step"``
+    or an :class:`~repro.core.autoscaling.AutoscalePolicy` instance)
+    that may grow/shrink the cluster online from the queue-delay
+    signal.
     """
 
     def __init__(
@@ -249,6 +331,7 @@ class FleetSession:
         num_gpus: int = 1,
         placement: PlacementPolicy | str | None = None,
         cluster: CloudCluster | None = None,
+        autoscaler: AutoscalePolicy | str | None = None,
     ) -> None:
         if not cameras:
             raise ValueError("a fleet needs at least one camera")
@@ -266,6 +349,33 @@ class FleetSession:
         else:
             self.cluster = CloudCluster(
                 num_gpus=num_gpus, placement=placement, scheduler=scheduler
+            )
+        self.autoscaler = build_autoscaler(autoscaler)
+        # fail now, not minutes into the run at the first scale-out: a
+        # cluster built around one ready GpuScheduler instance has no
+        # recipe for the schedulers new workers would need
+        if (
+            self.autoscaler.name != "none"
+            and self.autoscaler.max_gpus > self.cluster.num_gpus
+            and not self.cluster.can_grow
+        ):
+            raise ValueError(
+                f"autoscaler {self.autoscaler.name!r} may grow the cluster to "
+                f"{self.autoscaler.max_gpus} GPUs, but the cluster was built "
+                "around a single GpuScheduler instance and cannot add workers; "
+                "construct it with a policy name or a zero-arg factory"
+            )
+        # min_gpus only gates scale-IN — no policy scales out just to
+        # reach the floor — so a floor above the starting size would
+        # silently never hold; demand the operator start at the floor
+        if (
+            self.autoscaler.name != "none"
+            and self.autoscaler.min_gpus > self.cluster.num_gpus
+        ):
+            raise ValueError(
+                f"autoscaler {self.autoscaler.name!r} keeps at least "
+                f"{self.autoscaler.min_gpus} GPUs but the cluster starts with "
+                f"{self.cluster.num_gpus}; set num_gpus >= min_gpus"
             )
         self.cameras = list(cameras)
         self.student = student
@@ -358,18 +468,24 @@ class FleetSession:
             edge_actors[camera_id] = actor
             streams[camera_id] = iter(stream)
 
+        duration = max(
+            spec.dataset.num_frames / spec.dataset.fps for spec in self.cameras
+        )
+        # the autoscale controller ticks until the last stream ends; the
+        # default NoScaler schedules no ticks at all, so the run is
+        # bit-for-bit (and event-for-event) the fixed-cluster run
+        controller = AutoscaleController(self.autoscaler, cluster, horizon=duration)
+        controller.start(scheduler)
         kernel = SessionKernel(
             scheduler,
             edge_actors=edge_actors,
             cloud_actor=cluster,
             transport=transport,
             streams=streams,
+            autoscaler=controller,
         )
         kernel.run()
 
-        duration = max(
-            spec.dataset.num_frames / spec.dataset.fps for spec in self.cameras
-        )
         camera_results = []
         gpu_by_name: dict[str, float] = {}
         rejections = cluster.rejections_by_camera
@@ -387,9 +503,16 @@ class FleetSession:
                     rejected_uploads=rejections.get(camera_id, 0),
                 )
             )
+        queue_waits = cluster.queue_waits
+        slo = self.autoscaler.slo_seconds
+        violations = (
+            sum(1 for wait in queue_waits if wait > slo) / len(queue_waits)
+            if slo is not None and queue_waits
+            else 0.0
+        )
         return FleetResult(
             cameras=camera_results,
-            queue_waits=cluster.queue_waits,
+            queue_waits=queue_waits,
             cloud_gpu_seconds=self.cloud.total_gpu_seconds,
             cloud_busy_seconds=cluster.busy_seconds,
             duration_seconds=duration,
@@ -404,4 +527,9 @@ class FleetSession:
                 spec.name: migrations.get(camera_id, 0)
                 for camera_id, spec in enumerate(self.cameras)
             },
+            autoscaler=self.autoscaler.name,
+            scaling_events=list(controller.events),
+            gpu_seconds_provisioned=cluster.provisioned_gpu_seconds(duration),
+            slo_seconds=slo,
+            slo_violation_fraction=violations,
         )

@@ -37,6 +37,7 @@ class LabeledFrame:
 
     @property
     def num_boxes(self) -> int:
+        """How many pseudo-label boxes the teacher produced for this frame."""
         return len(self.detections)
 
 

@@ -64,6 +64,7 @@ class ReplayMemory:
 
     @property
     def is_full(self) -> bool:
+        """Whether the memory reached its capacity (replacement mode)."""
         return len(self._items) >= self.capacity
 
     @property

@@ -122,6 +122,7 @@ class GpuJob:
 
     @property
     def wait_seconds(self) -> float:
+        """Queue delay in seconds (0.0 until the job enters service)."""
         if self.service_start is None:
             return 0.0
         return self.service_start - self.arrival
@@ -147,6 +148,7 @@ class GpuScheduler:
         self.weights: dict[int, float] = {}
 
     def register_tenant(self, camera_id: int, weight: float = 1.0) -> None:
+        """Attach one camera with its relative GPU share (must be > 0)."""
         if weight <= 0:
             raise ValueError(f"tenant weight must be positive, got {weight}")
         self.weights[camera_id] = weight
@@ -208,6 +210,7 @@ class FifoScheduler(GpuScheduler):
     queue_training = False
 
     def select(self, queue: Sequence[GpuJob], now: float) -> list[GpuJob]:
+        """Serve the whole queue as one merged batch, in arrival order."""
         return list(queue)
 
 
@@ -228,13 +231,16 @@ class StalenessPriorityScheduler(GpuScheduler):
         self._last_labeled: dict[int, float] = {}
 
     def reset(self) -> None:
+        """Clear weights and per-tenant staleness clocks."""
         super().reset()
         self._last_labeled.clear()
 
     def staleness(self, camera_id: int, now: float) -> float:
+        """Seconds since the tenant's last label batch completed."""
         return now - self._last_labeled.get(camera_id, 0.0)
 
     def select(self, queue: Sequence[GpuJob], now: float) -> list[GpuJob]:
+        """Serve every queued job of the single most-stale tenant."""
         grouped = self._jobs_by_camera(queue)
         if not grouped:
             return []
@@ -245,6 +251,7 @@ class StalenessPriorityScheduler(GpuScheduler):
         return list(grouped[chosen])
 
     def on_served(self, jobs: Sequence[GpuJob], completion: float) -> None:
+        """Reset the staleness clock of tenants whose labels just landed."""
         for job in jobs:
             if job.kind == LABELING:
                 self._last_labeled[job.camera_id] = completion
@@ -267,13 +274,16 @@ class WeightedFairScheduler(GpuScheduler):
         self.consumed: dict[int, float] = {}
 
     def reset(self) -> None:
+        """Clear weights and accumulated per-tenant GPU consumption."""
         super().reset()
         self.consumed.clear()
 
     def normalized_consumption(self, camera_id: int) -> float:
+        """GPU-seconds consumed so far, divided by the tenant's weight."""
         return self.consumed.get(camera_id, 0.0) / self.weights.get(camera_id, 1.0)
 
     def select(self, queue: Sequence[GpuJob], now: float) -> list[GpuJob]:
+        """Serve the queued tenant with the least weight-normalised usage."""
         grouped = self._jobs_by_camera(queue)
         if not grouped:
             return []
@@ -288,6 +298,7 @@ class WeightedFairScheduler(GpuScheduler):
         return list(grouped[chosen])
 
     def on_served(self, jobs: Sequence[GpuJob], completion: float) -> None:
+        """Charge each served job's GPU-seconds to its tenant."""
         for job in jobs:
             self.consumed[job.camera_id] = (
                 self.consumed.get(job.camera_id, 0.0) + job.service_seconds
@@ -324,12 +335,14 @@ class AdmissionControlScheduler(GpuScheduler):
         now: float,
         busy_until: float,
     ) -> bool:
+        """Admit unless the projected wait would blow the delay budget."""
         if job.kind != LABELING:
             return True
         projected_wait = max(0.0, busy_until - now)
         return projected_wait <= self.delay_budget_seconds + 1e-9
 
     def select(self, queue: Sequence[GpuJob], now: float) -> list[GpuJob]:
+        """Serve the whole (admitted) queue FIFO, as one merged batch."""
         return list(queue)
 
 
@@ -360,6 +373,7 @@ class DriftAwareScheduler(GpuScheduler):
         self._last_labeled: dict[int, float] = {}
 
     def reset(self) -> None:
+        """Clear weights, measured φ signals and staleness clocks."""
         super().reset()
         self._phi.clear()
         self._last_labeled.clear()
@@ -369,9 +383,11 @@ class DriftAwareScheduler(GpuScheduler):
         return self._phi.get(camera_id, float("inf"))
 
     def staleness(self, camera_id: int, now: float) -> float:
+        """Seconds since the tenant was last labeled (the tie-break signal)."""
         return now - self._last_labeled.get(camera_id, 0.0)
 
     def on_labeled(self, camera_id: int, phi: float, now: float) -> None:
+        """Record the measured φ (and labeled-at time) for the camera."""
         # both signals update here — not in on_served — because a
         # cluster broadcasts this hook to every shard: φ AND staleness
         # are properties of the camera, not of the worker that happened
@@ -380,6 +396,7 @@ class DriftAwareScheduler(GpuScheduler):
         self._last_labeled[camera_id] = now
 
     def select(self, queue: Sequence[GpuJob], now: float) -> list[GpuJob]:
+        """Serve every queued job of the tenant with the largest measured φ."""
         grouped = self._jobs_by_camera(queue)
         if not grouped:
             return []
@@ -477,11 +494,13 @@ class RoundRobinPlacement(PlacementPolicy):
         self._next = 0
 
     def reset(self) -> None:
+        """Restart the cycle at worker 0."""
         self._next = 0
 
     def place(
         self, job: GpuJob, workers: Sequence[GpuWorkerView], now: float
     ) -> int:
+        """Return the next worker in cyclic order."""
         index = self._next % len(workers)
         self._next += 1
         return index
@@ -501,6 +520,7 @@ class LeastLoadedPlacement(PlacementPolicy):
     def place(
         self, job: GpuJob, workers: Sequence[GpuWorkerView], now: float
     ) -> int:
+        """Return the worker with the fewest pending GPU-seconds."""
         return min(
             range(len(workers)),
             key=lambda index: (workers[index].pending_gpu_seconds(now), index),
@@ -512,18 +532,32 @@ class StickyPlacement(PlacementPolicy):
 
     The first job of a camera is hashed (Knuth multiplicative, stable
     across runs and processes — unlike :func:`hash`) onto a worker and
-    the assignment is cached, so a camera never migrates.  Affinity
-    keeps any per-tenant GPU state (e.g. a cloud-resident AMS student)
-    on a single shard at the cost of ignoring load imbalance.
+    the assignment is cached, so a camera never migrates while the
+    worker set is stable.  Affinity keeps any per-tenant GPU state
+    (e.g. a cloud-resident AMS student) on a single shard at the cost
+    of ignoring load imbalance.
+
+    When the cluster is resized online (elastic autoscaling), the
+    cached assignments are keyed to the *identity* of the active worker
+    set they were computed against — not merely its size, which a
+    drain-then-grow sequence leaves unchanged while the set differs.
+    The first placement after any resize deterministically **remaps**
+    every camera by rehashing against the new set, so two runs with
+    the same scaling timeline produce the same assignments (and the
+    remaps are visible as recorded migrations).
     """
 
     name = "sticky"
 
     def __init__(self) -> None:
         self._assigned: dict[int, int] = {}
+        #: identity signature of the worker set the cache was hashed for
+        self._signature: tuple[int, ...] | None = None
 
     def reset(self) -> None:
+        """Forget every cached camera-to-worker assignment."""
         self._assigned.clear()
+        self._signature = None
 
     @staticmethod
     def _stable_hash(camera_id: int) -> int:
@@ -536,6 +570,13 @@ class StickyPlacement(PlacementPolicy):
     def place(
         self, job: GpuJob, workers: Sequence[GpuWorkerView], now: float
     ) -> int:
+        """Hash the camera onto a worker; rehash if the worker set changed."""
+        signature = tuple(id(worker) for worker in workers)
+        if signature != self._signature:
+            # the active set changed (resize): every cached index may now
+            # point at a different physical worker, so drop them all
+            self._signature = signature
+            self._assigned.clear()
         camera_id = job.camera_id
         if camera_id not in self._assigned:
             self._assigned[camera_id] = self._stable_hash(camera_id) % len(workers)
@@ -558,11 +599,13 @@ class PowerOfTwoPlacement(PlacementPolicy):
         self._rng = np.random.default_rng(seed)
 
     def reset(self) -> None:
+        """Re-seed the sampling RNG so successive runs are identical."""
         self._rng = np.random.default_rng(self.seed)
 
     def place(
         self, job: GpuJob, workers: Sequence[GpuWorkerView], now: float
     ) -> int:
+        """Sample two workers, return the less loaded of the pair."""
         if len(workers) == 1:
             return 0
         first, second = (

@@ -92,12 +92,14 @@ class SessionResult:
 
     @property
     def average_fps(self) -> float:
+        """Mean processed frames per second over the session."""
         if self.fps_trace.size == 0:
             return 0.0
         return float(self.fps_trace.mean())
 
     @property
     def total_training_seconds(self) -> float:
+        """Wall-clock seconds the edge device spent in training windows."""
         return sum(window.duration for window in self.training_windows)
 
 

@@ -5,6 +5,7 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass
 
+from repro.core.autoscaling import AutoscalePolicy
 from repro.core.cluster import CloudCluster, SchedulerSpec
 from repro.core.config import ShoggothConfig
 from repro.core.fleet import CameraSpec, FleetResult, FleetSession
@@ -60,6 +61,7 @@ class ExperimentSettings:
             raise ValueError("replay_seed_images must be non-negative")
 
     def shoggoth_config(self) -> ShoggothConfig:
+        """Session config matching these settings (eval stride threaded)."""
         return ShoggothConfig(eval_stride=self.eval_stride)
 
     @classmethod
@@ -188,18 +190,22 @@ class FleetRunResult:
 
     @property
     def num_cameras(self) -> int:
+        """How many cameras the fleet ran."""
         return self.fleet.num_cameras
 
     @property
     def mean_map50(self) -> float:
+        """Mean per-camera mAP@0.5 across the fleet."""
         return reduce_metric(r.map50 for r in self.per_camera.values())
 
     @property
     def mean_fps(self) -> float:
+        """Mean per-camera processed FPS across the fleet."""
         return reduce_metric(r.average_fps for r in self.per_camera.values())
 
     @property
     def mean_upload_latency(self) -> float:
+        """Mean uplink transfer time over every upload of the fleet (seconds)."""
         return reduce_metric(
             lat for c in self.fleet.cameras for lat in c.upload_latencies
         )
@@ -224,6 +230,38 @@ class FleetRunResult:
             "rejected": self.fleet.num_rejected_uploads,
         }
 
+    def autoscale_row(self) -> dict[str, float | str]:
+        """Row for autoscaling tables: elastic-capacity metrics added.
+
+        Units: ``provisioned GPU-s`` integrates provisioned capacity
+        over simulated time (GPU-seconds paid for), ``mean GPUs`` is
+        that integral over the duration, and ``SLO viol`` is the
+        fraction of labeling jobs whose queue delay exceeded the
+        policy's SLO.
+        """
+        fleet = self.fleet
+        return {
+            "autoscaler": fleet.autoscaler,
+            "GPUs (start/peak/end)": (
+                f"{fleet.num_gpus}/{fleet.peak_num_gpus}/{fleet.final_num_gpus}"
+            ),
+            "cameras": self.num_cameras,
+            "mean mAP@0.5 (%)": round(100.0 * self.mean_map50, 1),
+            "queue delay (s)": round(fleet.mean_queue_delay, 3),
+            "p95 delay (s)": round(fleet.p95_queue_delay, 3),
+            # a run with no SLO cannot "meet" one: print n/a, not a
+            # clean-looking 0.0, so fixed rows don't outrank the scaler
+            "SLO viol": (
+                round(fleet.slo_violation_fraction, 3)
+                if fleet.slo_seconds is not None
+                else "n/a"
+            ),
+            "provisioned GPU-s": round(fleet.gpu_seconds_provisioned, 1),
+            "mean GPUs": round(fleet.mean_gpu_count, 2),
+            "cloud util": round(fleet.cloud_utilization, 3),
+            "scale out/in": f"{fleet.num_scale_outs}/{fleet.num_scale_ins}",
+        }
+
 
 def run_fleet(
     cameras: list[CameraSpec],
@@ -238,6 +276,7 @@ def run_fleet(
     num_gpus: int = 1,
     placement: PlacementPolicy | str | None = None,
     cluster: CloudCluster | None = None,
+    autoscaler: AutoscalePolicy | str | None = None,
 ) -> FleetRunResult:
     """Run N cameras against one shared cloud/link and score each stream.
 
@@ -250,7 +289,11 @@ def run_fleet(
     ``benchmarks/bench_scheduler_policies.py`` compares; ``num_gpus``
     and ``placement`` — or a ready ``cluster`` — shard the cloud into a
     :class:`~repro.core.cluster.CloudCluster`, which
-    ``benchmarks/bench_cloud_sharding.py`` scales.
+    ``benchmarks/bench_cloud_sharding.py`` scales; ``autoscaler``
+    (``"none"`` default, ``"slo"``, ``"step"`` or a policy instance)
+    lets the cluster grow/shrink online, which
+    ``benchmarks/bench_autoscaling.py`` compares against fixed
+    provisioning.
     """
     settings = settings or ExperimentSettings()
     teacher = TeacherDetector(teacher_config or TeacherConfig(seed=settings.seed + 7))
@@ -274,6 +317,7 @@ def run_fleet(
         num_gpus=num_gpus,
         placement=placement,
         cluster=cluster,
+        autoscaler=autoscaler,
     )
     outcome = fleet.run()
     per_camera = {

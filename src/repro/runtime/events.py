@@ -43,6 +43,7 @@ __all__ = [
     "LabelingDone",
     "TrainingDone",
     "ModelDownloadComplete",
+    "AutoscaleTick",
     "EventScheduler",
 ]
 
@@ -129,6 +130,22 @@ class TrainingDone(Event):
     """An adaptive-training session released the device/GPU."""
 
     window: Any = None
+
+    priority: ClassVar[int] = 3
+
+
+@dataclass
+class AutoscaleTick(Event):
+    """Periodic sampling point for the elastic cloud autoscaler.
+
+    Fired every ``interval_seconds`` of simulated time by the
+    :class:`~repro.core.autoscaling.AutoscaleController`; the handler
+    samples the sliding-window queue-delay/utilisation signal and may
+    grow or shrink the :class:`~repro.core.cluster.CloudCluster`.
+    Scheduled *after* same-instant labeling completions and label
+    deliveries settle (so the sampled backlog is current) but before
+    the next frame is processed.
+    """
 
     priority: ClassVar[int] = 3
 
