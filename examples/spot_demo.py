@@ -1,0 +1,133 @@
+"""Spot GPU workers: cheap preemptible capacity vs. reliable on-demand.
+
+Eight cameras run against three labeling clusters:
+
+* **3x on-demand** — the reliable baseline: every GPU bills the full
+  reference rate for the whole episode;
+* **1 on-demand + 3 spot** — the same nominal capacity plus one spare,
+  but three workers run at the ~70% spot discount under a seeded
+  revocation process that can kill them mid-busy-period (interrupted
+  jobs are re-labeled from scratch and hand off to the survivors);
+* the same mixed cluster with **checkpoint-resume** recovery, which
+  keeps the interrupted work's progress instead of redoing it.
+
+The printed table compares dollar cost, spot share, p95 queue delay
+and revocation/relabel counts; the revocation timeline shows every
+kill, what it interrupted and how the fleet recovered.
+
+Expected runtime: about a CPU-minute at the default scale.
+
+Run with::
+
+    python examples/spot_demo.py
+
+Environment knobs: the shared ``REPRO_*`` settings variables (see
+:meth:`repro.eval.ExperimentSettings.from_env`) shrink the episode and
+pretraining, e.g. ``REPRO_NUM_FRAMES=240`` in the CI smoke job.
+"""
+
+from __future__ import annotations
+
+from repro.core.cluster import RevocationProcess
+from repro.core.fleet import CameraSpec
+from repro.core.scheduling import WORKER_TIERS, WorkerSpec
+from repro.eval import ExperimentSettings, format_table, prepare_student, run_fleet
+from repro.network.link import LinkConfig, SharedLink
+from repro.video import build_dataset
+
+NUM_CAMERAS = 8
+ON_DEMAND = WorkerSpec()
+SPOT = WORKER_TIERS["spot"]
+MIXED_SPECS = [ON_DEMAND] + [SPOT] * 3
+REVOCATION_SEED = 3
+
+
+def build_cameras(settings: ExperimentSettings) -> list[CameraSpec]:
+    presets = ["detrac", "kitti", "waymo", "stationary"]
+    strategies = ["shoggoth", "shoggoth", "ams", "shoggoth"]
+    return [
+        CameraSpec(
+            name=f"cam{i}",
+            dataset=build_dataset(presets[i % 4], num_frames=settings.num_frames),
+            strategy=strategies[i % 4],
+            seed=i,
+        )
+        for i in range(NUM_CAMERAS)
+    ]
+
+
+def main() -> None:
+    settings = ExperimentSettings.from_env(
+        num_frames=600,        # 20 s of 30-fps video per camera
+        eval_stride=3,
+        pretrain_images=200,
+        pretrain_epochs=5,
+    )
+
+    print("Pre-training the shared student detector offline ...")
+    student = prepare_student(settings)
+    link = LinkConfig(uplink_kbps=10_000.0, downlink_kbps=20_000.0)
+    duration = settings.num_frames / 30.0
+
+    def revocations() -> RevocationProcess:
+        # mean uptime ~ two thirds of the episode: most spot workers die
+        return RevocationProcess(
+            mean_uptime_seconds=duration * 0.66, seed=REVOCATION_SEED
+        )
+
+    rows = []
+    print(f"Running {NUM_CAMERAS} cameras on 3x on-demand GPUs ...")
+    rows.append(
+        run_fleet(
+            build_cameras(settings), student, settings=settings,
+            link=SharedLink(link), placement="least_loaded",
+            worker_specs=[ON_DEMAND] * 3,
+        ).cost_row() | {"recovery": "-"}
+    )
+    print("Running the same fleet on 1 on-demand + 3 spot GPUs (relabel) ...")
+    mixed = run_fleet(
+        build_cameras(settings), student, settings=settings,
+        link=SharedLink(link), placement="least_loaded",
+        worker_specs=list(MIXED_SPECS), revocations=revocations(),
+        revocation_mode="relabel",
+    )
+    rows.append(mixed.cost_row() | {"recovery": "relabel"})
+    print("... and once more with checkpoint-resume recovery ...")
+    rows.append(
+        run_fleet(
+            build_cameras(settings), student, settings=settings,
+            link=SharedLink(link), placement="least_loaded",
+            worker_specs=list(MIXED_SPECS), revocations=revocations(),
+            revocation_mode="checkpoint",
+        ).cost_row() | {"recovery": "checkpoint"}
+    )
+
+    print()
+    print(
+        format_table(
+            rows,
+            title=(
+                f"Spot capacity — {NUM_CAMERAS} cameras, seeded revocations "
+                f"(seed {REVOCATION_SEED}), least_loaded placement"
+            ),
+        )
+    )
+    print("\nRevocation timeline (relabel run):")
+    for record in mixed.fleet.revocation_records:
+        print(" ", record.reason)
+    if not mixed.fleet.revocation_records:
+        print("  (no spot worker was revoked at this scale)")
+    print(
+        "\nHow to read this: the all-on-demand row buys reliability at the "
+        "full reference rate. The mixed rows swap most capacity to the "
+        "spot tier — '$ cost' drops with the discount, and a revoked "
+        "worker stops billing the instant it dies — while the extra "
+        "spare worker keeps 'p95 delay' at the on-demand level through "
+        "the kills. 'relabeled/resumed' and 'wasted GPU-s' show the "
+        "price of each recovery mode: relabel redoes interrupted work "
+        "from scratch, checkpoint-resume keeps its progress."
+    )
+
+
+if __name__ == "__main__":
+    main()

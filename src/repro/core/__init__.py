@@ -65,11 +65,19 @@ from repro.core.scheduling import (
     LeastLoadedPlacement,
     StickyPlacement,
     PowerOfTwoPlacement,
+    CheapestFeasiblePlacement,
     PLACEMENTS,
     build_placement,
     jain_fairness,
+    WorkerSpec,
+    WORKER_TIERS,
 )
-from repro.core.cluster import CloudCluster
+from repro.core.cluster import (
+    CloudCluster,
+    RevocationProcess,
+    RevocationRecord,
+    REVOCATION_MODES,
+)
 from repro.core.autoscaling import (
     AutoscaleSignal,
     AutoscalePolicy,
@@ -134,10 +142,16 @@ __all__ = [
     "LeastLoadedPlacement",
     "StickyPlacement",
     "PowerOfTwoPlacement",
+    "CheapestFeasiblePlacement",
     "PLACEMENTS",
     "build_placement",
     "jain_fairness",
+    "WorkerSpec",
+    "WORKER_TIERS",
     "CloudCluster",
+    "RevocationProcess",
+    "RevocationRecord",
+    "REVOCATION_MODES",
     "AutoscaleSignal",
     "AutoscalePolicy",
     "NoScaler",

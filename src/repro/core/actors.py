@@ -52,6 +52,7 @@ from repro.core.scheduling import (
     FifoScheduler,
     GpuJob,
     GpuScheduler,
+    WorkerSpec,
 )
 from repro.core.session import SessionOptions, SessionResult
 from repro.detection.boxes import Detection
@@ -73,6 +74,7 @@ from repro.runtime.events import (
     LabelingDone,
     LabelsReady,
     ModelDownloadComplete,
+    RevocationEvent,
     TrainingDone,
     UploadComplete,
 )
@@ -354,12 +356,17 @@ class CloudActor:
         tenants: dict[int, "_Tenant"] | None = None,
         gpu_seconds_by_camera: dict[int, float] | None = None,
         label_observer: "Callable[[int, float, float], None] | None" = None,
+        spec: WorkerSpec | None = None,
     ) -> None:
         self.cloud = cloud
         self.transport = transport
         self.queued = queued
         self.batch_overhead_seconds = batch_overhead_seconds
         self.scheduler = scheduler or FifoScheduler()
+        #: resource profile: speed multiplier, cost rate, spot flag.
+        #: The default (speed 1.0, on-demand) reproduces the pre-spec
+        #: worker bit-for-bit
+        self.spec = spec or WorkerSpec()
         #: which GPU of a sharded cloud this actor is (0 standalone);
         #: stamped onto the :class:`LabelingDone` events it schedules
         self.worker_id = worker_id
@@ -384,7 +391,13 @@ class CloudActor:
         #: and when it stopped (None while provisioned)
         self.provisioned_since = 0.0
         self.retired_at: float | None = None
+        #: set when this worker's spot capacity was revoked mid-run; a
+        #: revoked worker is permanently retired (never restarts)
+        self.revoked = False
         self.queue: deque[GpuJob] = deque()
+        #: handle on the busy period's scheduled completion, so a spot
+        #: revocation can kill the period mid-flight (None while idle)
+        self.pending_completion: LabelingDone | None = None
         #: labeling jobs in completion order (queue-delay statistics)
         self.completed_jobs: list[GpuJob] = []
         #: cloud-training jobs in completion order (unified-queue policies)
@@ -531,6 +544,8 @@ class CloudActor:
 
     def on_labeling_done(self, event: LabelingDone, scheduler: EventScheduler) -> None:
         """Finish a busy period: send labels / trained weights back, restart."""
+        if self.pending_completion is event:
+            self.pending_completion = None
         for job in event.jobs:
             job.completion = event.time
             actor = self.tenants[job.camera_id].actor
@@ -649,9 +664,15 @@ class CloudActor:
         return response
 
     def pending_gpu_seconds(self, now: float) -> float:
-        """Residual busy time plus queued service — the placement load signal."""
+        """Residual busy time plus queued service — the placement load signal.
+
+        Wall-clock: queued *nominal* service is divided by the worker's
+        :class:`WorkerSpec` speed, so a fast GPU generation advertises
+        the completion time it would actually deliver and least-loaded
+        placement balances finish times, not raw GPU-seconds.
+        """
         backlog = max(0.0, self.busy_until - now)
-        return backlog + sum(job.service_seconds for job in self.queue)
+        return backlog + sum(job.service_seconds for job in self.queue) / self.spec.speed
 
     def _maybe_start_service(self, now: float, scheduler: EventScheduler) -> None:
         """Start the next GPU busy period with the scheduler's pick.
@@ -661,7 +682,10 @@ class CloudActor:
         period (that is how non-FIFO policies reorder service).
         Training jobs run their fine-tuning here — the simulation is
         deterministic either way — but their weights only stream back
-        when the busy period completes.
+        when the busy period completes.  A training job resumed from a
+        revocation checkpoint keeps its stashed result and is not
+        re-trained.  The busy period's wall-clock length is the nominal
+        service divided by the worker's :class:`WorkerSpec` speed.
         """
         if not self.queue or now + 1e-12 < self.busy_until:
             return
@@ -673,15 +697,64 @@ class CloudActor:
         service = self.batch_overhead_seconds
         for job in jobs:
             job.service_start = now
-            if job.kind == TRAINING:
+            if job.kind == TRAINING and job.result is None:
                 job.result = self._train_tenant(self.tenants[job.camera_id], job.pool)
                 job.service_seconds = job.result.gpu_seconds
             service += job.service_seconds
+        service /= self.spec.speed
         self.busy_until = now + service
         self.busy_seconds += service
-        scheduler.schedule(
+        self.pending_completion = scheduler.schedule(
             LabelingDone(time=self.busy_until, jobs=jobs, worker_id=self.worker_id)
         )
+
+    def preempt(
+        self, now: float, scheduler: EventScheduler, mode: str
+    ) -> tuple[list[GpuJob], float]:
+        """Kill the in-flight busy period (spot revocation hit mid-service).
+
+        Cancels the scheduled completion, rolls the un-run remainder
+        back out of ``busy_seconds`` and returns ``(recovered jobs,
+        wasted wall-seconds)`` for the cluster to re-place.  ``mode``
+        decides what the recovered jobs carry:
+
+        * ``"checkpoint"`` — the elapsed fraction of the period is kept
+          as progress: each job resumes elsewhere with only the
+          remaining fraction of its nominal service (nothing wasted);
+        * ``"relabel"`` — everything restarts from scratch: full
+          service again, and the elapsed wall-time is reported as
+          wasted GPU work.
+
+        A training job's stashed result survives either mode: the
+        fine-tuning outcome is deterministic, so the redo costs
+        wall-clock time (and, under relabel, wasted-work accounting) —
+        not a second weight update on the tenant's student or a second
+        per-tenant GPU charge, which would make training jobs account
+        differently from labeling jobs.
+
+        Either way the jobs keep their original ``arrival``, so their
+        eventual queue-delay statistics honestly include the killed
+        attempt.  No-op (empty recovery) when the worker is idle.
+        """
+        if self.pending_completion is None or self.busy_until <= now + 1e-12:
+            return [], 0.0
+        done = self.pending_completion
+        scheduler.cancel(done)
+        self.pending_completion = None
+        jobs = list(done.jobs)
+        start = min(job.service_start for job in jobs)
+        total_wall = self.busy_until - start
+        elapsed_wall = max(0.0, now - start)
+        remaining_wall = max(0.0, self.busy_until - now)
+        self.busy_seconds -= remaining_wall
+        self.busy_until = now
+        done_fraction = elapsed_wall / total_wall if total_wall > 0 else 1.0
+        for job in jobs:
+            job.service_start = None
+            if mode == "checkpoint":
+                job.service_seconds *= max(0.0, 1.0 - done_fraction)
+        wasted = 0.0 if mode == "checkpoint" else elapsed_wall
+        return jobs, wasted
 
     def _train_tenant(
         self, tenant: _Tenant, labeled: list[LabeledFrame]
@@ -1000,5 +1073,9 @@ class SessionKernel:
                     "is attached to this kernel"
                 )
             self.autoscaler.on_tick(event, scheduler)
+        elif isinstance(event, RevocationEvent):
+            # only clusters with a revocation process schedule these;
+            # the cluster routes the kill to the tagged worker
+            self.cloud_actor.on_revocation(event, scheduler)
         else:  # pragma: no cover - defensive
             raise TypeError(f"unroutable event: {event!r}")

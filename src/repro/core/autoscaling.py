@@ -45,6 +45,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.core.scheduling import WorkerSpec
 from repro.runtime.events import AutoscaleTick, EventScheduler
 
 __all__ = [
@@ -105,6 +106,10 @@ class AutoscalePolicy:
     #: queue-delay SLO the fleet's violation fraction reports against
     #: (``None`` = this policy has no latency target)
     slo_seconds: float | None = None
+    #: hardware profile for workers this policy adds (``None`` = the
+    #: cluster's template spec); a cost-conscious policy sets a cheap
+    #: preemptible spec here and the controller passes it through
+    scale_out_spec: WorkerSpec | None = None
 
     def __init__(
         self,
@@ -201,6 +206,14 @@ class SloScaler(AutoscalePolicy):
       (stamped by the controller), during which the policy holds,
       whatever the signal says; a decision the controller had to block
       burns no cooldown.
+
+    Spot-aware scale-out: ``scale_out_spec`` makes every added worker
+    use that hardware profile (e.g. cheap preemptible capacity —
+    ``WORKER_TIERS["spot"]``) instead of the cluster's template, and
+    when that spec is preemptible, ``revocation_headroom`` extra
+    workers join each scale-out as insurance against expected
+    revocations — over-provisioning cheap capacity instead of waiting
+    one cooldown per kill (``max_gpus`` still bounds the total).
     """
 
     name = "slo"
@@ -212,6 +225,8 @@ class SloScaler(AutoscalePolicy):
         sustained_idle_ticks: int = 3,
         hysteresis_fraction: float = 0.5,
         scale_out_step: int = 1,
+        scale_out_spec: WorkerSpec | None = None,
+        revocation_headroom: int = 0,
         **kwargs: Any,
     ) -> None:
         super().__init__(**kwargs)
@@ -231,11 +246,24 @@ class SloScaler(AutoscalePolicy):
             )
         if scale_out_step < 1:
             raise ValueError(f"scale_out_step must be >= 1, got {scale_out_step}")
+        if revocation_headroom < 0:
+            raise ValueError(
+                f"revocation_headroom must be >= 0, got {revocation_headroom}"
+            )
+        if revocation_headroom > 0 and (
+            scale_out_spec is None or not scale_out_spec.preemptible
+        ):
+            raise ValueError(
+                "revocation_headroom over-provisions against spot kills; it "
+                "needs a preemptible scale_out_spec"
+            )
         self.slo_seconds = slo_seconds
         self.scale_in_utilization = scale_in_utilization
         self.sustained_idle_ticks = sustained_idle_ticks
         self.hysteresis_fraction = hysteresis_fraction
         self.scale_out_step = scale_out_step
+        self.scale_out_spec = scale_out_spec
+        self.revocation_headroom = revocation_headroom
         self._idle_ticks = 0
 
     def reset(self) -> None:
@@ -267,7 +295,8 @@ class SloScaler(AutoscalePolicy):
             return 0
         if breached and signal.num_gpus < self.max_gpus:
             self._idle_ticks = 0
-            return min(self.scale_out_step, self.max_gpus - signal.num_gpus)
+            step = self.scale_out_step + self.revocation_headroom
+            return min(step, self.max_gpus - signal.num_gpus)
         if self._idle_ticks >= self.sustained_idle_ticks and signal.num_gpus > self.min_gpus:
             self._idle_ticks = 0
             return -1
@@ -502,7 +531,7 @@ class AutoscaleController:
             # capacity, so replacing it early would exceed max_gpus
             if self.cluster.num_charging(now) >= self.policy.max_gpus:
                 break
-            worker = self.cluster.add_worker(now)
+            worker = self.cluster.add_worker(now, spec=self.policy.scale_out_spec)
             self.events.append(
                 ScalingEvent(
                     time=now,

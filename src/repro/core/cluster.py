@@ -47,12 +47,32 @@ back to the worker that started them.  Every resize is appended to a
 provision log from which :meth:`provisioned_gpu_seconds` integrates the
 capacity the fleet actually paid for (GPU-seconds), the currency the
 autoscaling benchmark compares against a fixed-size cluster.
+
+Workers need not be identical: each carries a
+:class:`~repro.core.scheduling.WorkerSpec` (speed multiplier, cost
+rate, ``preemptible`` flag), and a cluster may attach a
+:class:`RevocationProcess` — a seeded stochastic model (exponential
+spot uptimes) or a scripted trace — that fires
+:class:`~repro.runtime.events.RevocationEvent`\\ s killing spot workers
+mid-run.  A revocation is an *involuntary* scale-in:
+:meth:`on_revocation` retires the worker at the revocation instant
+(capacity stops charging immediately), kills its in-flight busy period
+(the interrupted jobs are checkpoint-resumed or re-labeled from
+scratch, per ``revocation_mode``), hands its queue off through the
+existing drain path, and — when the fleet would otherwise be left with
+no active worker — provisions an emergency on-demand replacement.
+:meth:`dollar_cost` integrates each worker's cost rate over its
+provisioned lifetime, the currency the spot-preemption benchmark
+trades against queue delay.
 """
 
 from __future__ import annotations
 
 from collections import deque
+from dataclasses import dataclass
 from typing import Callable, Sequence
+
+import numpy as np
 
 from repro.core.actors import CloudActor, InstantTransport, SharedLinkTransport
 from repro.core.cloud import CloudServer
@@ -62,12 +82,125 @@ from repro.core.scheduling import (
     GpuJob,
     GpuScheduler,
     PlacementPolicy,
+    WorkerSpec,
     build_placement,
     build_scheduler,
 )
-from repro.runtime.events import EventScheduler, LabelingDone, UploadComplete
+from repro.runtime.events import (
+    EventScheduler,
+    LabelingDone,
+    RevocationEvent,
+    UploadComplete,
+)
 
-__all__ = ["CloudCluster"]
+__all__ = [
+    "CloudCluster",
+    "RevocationProcess",
+    "RevocationRecord",
+    "REVOCATION_MODES",
+]
+
+#: how a revoked worker's in-flight jobs recover: resume from a
+#: checkpoint (remaining service only) or redo the work from scratch
+REVOCATION_MODES = ("relabel", "checkpoint")
+
+
+class RevocationProcess:
+    """When does the provider pull each spot worker's capacity?
+
+    Two mutually exclusive forms:
+
+    * **seeded stochastic** (``mean_uptime_seconds``): every
+      preemptible worker draws an exponential uptime from a seeded RNG
+      the moment it is provisioned (bind order, then add order — fully
+      deterministic for a given cluster history), and a
+      :class:`~repro.runtime.events.RevocationEvent` is scheduled at
+      provision time + uptime.  On-demand workers never draw.
+    * **scripted trace** (``trace``): explicit ``(time, worker_id)``
+      pairs, scheduled up-front — the reproducible-scenario form the
+      revocation edge-case tests use.
+
+    One instance serves one run (:meth:`reset` re-seeds the RNG).
+    """
+
+    def __init__(
+        self,
+        mean_uptime_seconds: float | None = None,
+        seed: int = 0,
+        trace: Sequence[tuple[float, int]] | None = None,
+    ) -> None:
+        if (mean_uptime_seconds is None) == (trace is None):
+            raise ValueError(
+                "pass exactly one of mean_uptime_seconds (seeded draws) or "
+                "trace (scripted revocations)"
+            )
+        if mean_uptime_seconds is not None and mean_uptime_seconds <= 0:
+            raise ValueError(
+                f"mean_uptime_seconds must be positive, got {mean_uptime_seconds}"
+            )
+        self.mean_uptime_seconds = mean_uptime_seconds
+        self.seed = seed
+        self.trace = None if trace is None else [
+            (float(time), int(worker_id)) for time, worker_id in trace
+        ]
+        if self.trace is not None:
+            for time, worker_id in self.trace:
+                if time < 0:
+                    raise ValueError(f"trace times must be >= 0, got {time}")
+                if worker_id < 0:
+                    raise ValueError(
+                        f"trace worker ids must be >= 0, got {worker_id}"
+                    )
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def scripted(self) -> bool:
+        """Whether this process replays a fixed trace (no random draws)."""
+        return self.trace is not None
+
+    def reset(self) -> None:
+        """Re-seed so successive runs draw identical uptimes."""
+        self._rng = np.random.default_rng(self.seed)
+
+    def draw_uptime(self) -> float:
+        """Sample one spot worker's uptime (seconds until revocation)."""
+        if self.scripted:
+            raise RuntimeError("a scripted trace does not draw uptimes")
+        return float(self._rng.exponential(self.mean_uptime_seconds))
+
+
+@dataclass(frozen=True)
+class RevocationRecord:
+    """One spot revocation that actually hit: what was lost and recovered."""
+
+    time: float
+    worker_id: int
+    #: recovery mode applied to the in-flight jobs
+    mode: str
+    #: jobs killed mid-busy-period (checkpoint-resumed or relabeled)
+    jobs_in_flight: int
+    #: queued jobs handed off untouched through the drain path
+    jobs_queued: int
+    #: wall-clock GPU work thrown away (0.0 under checkpoint resume)
+    wasted_gpu_seconds: float
+    #: id of the emergency on-demand worker provisioned because the
+    #: revocation would have left no active capacity (None otherwise)
+    emergency_worker_id: int | None = None
+
+    @property
+    def reason(self) -> str:
+        """Human-readable one-liner for timelines and demo output."""
+        tail = (
+            f", emergency worker {self.emergency_worker_id} provisioned"
+            if self.emergency_worker_id is not None
+            else ""
+        )
+        return (
+            f"t={self.time:7.2f}s revoked   worker {self.worker_id} "
+            f"({self.jobs_in_flight} in-flight -> {self.mode}, "
+            f"{self.jobs_queued} queued handed off, "
+            f"{self.wasted_gpu_seconds:.3f}s wasted{tail})"
+        )
 
 #: how a cluster accepts its per-worker schedulers: a policy name, a
 #: single instance (1-GPU clusters only), a zero-arg factory, or None
@@ -88,6 +221,15 @@ class CloudCluster:
     — for 1-GPU clusters only — a ready :class:`GpuScheduler` instance;
     sharing one stateful instance across workers would couple their
     deficit/staleness clocks, so multi-GPU clusters reject it.
+
+    ``worker_specs`` describes the hardware mix: one
+    :class:`~repro.core.scheduling.WorkerSpec` applied to every worker
+    (also the template for autoscale scale-outs), or a sequence with
+    one spec per worker (``num_gpus`` may then be omitted — the
+    sequence length fixes the cluster size).  ``revocations`` attaches
+    the spot-revocation process and ``revocation_mode`` picks how
+    jobs killed mid-busy-period recover (``"relabel"`` from scratch —
+    the default — or ``"checkpoint"`` resume).
     """
 
     def __init__(
@@ -95,11 +237,36 @@ class CloudCluster:
         num_gpus: int = 1,
         placement: PlacementPolicy | str | None = None,
         scheduler: SchedulerSpec = None,
+        worker_specs: WorkerSpec | Sequence[WorkerSpec] | None = None,
+        revocations: RevocationProcess | None = None,
+        revocation_mode: str = "relabel",
     ) -> None:
         if num_gpus < 1:
             raise ValueError(f"a cluster needs at least one GPU, got {num_gpus}")
+        if revocation_mode not in REVOCATION_MODES:
+            raise ValueError(
+                f"revocation_mode must be one of {REVOCATION_MODES}, "
+                f"got {revocation_mode!r}"
+            )
+        self.worker_specs, self._default_spec = self._resolve_specs(
+            worker_specs, num_gpus
+        )
+        num_gpus = len(self.worker_specs)
         self.num_gpus = num_gpus
         self.placement = build_placement(placement)
+        self.revocations = revocations
+        self.revocation_mode = revocation_mode
+        #: revocations that actually hit, in time order
+        self.revocation_log: list[RevocationRecord] = []
+        #: wall-clock GPU work thrown away by relabel-mode revocations
+        self.wasted_gpu_seconds = 0.0
+        #: in-flight jobs recovered per mode, across all revocations
+        self.num_relabeled_jobs = 0
+        self.num_checkpoint_resumed_jobs = 0
+        #: the event scheduler of the running fleet (set by
+        #: :meth:`start_revocations`; revocation draws need it)
+        self._event_scheduler: EventScheduler | None = None
+        self._revocation_horizon = float("inf")
         #: how new workers get their scheduler (kept for online resizes)
         self._scheduler_spec = scheduler
         self.schedulers = self._resolve_schedulers(scheduler, num_gpus)
@@ -116,6 +283,30 @@ class CloudCluster:
         #: scheduler of a worker added mid-run so no shard ever treats
         #: an already-measured camera as unmeasured drift
         self._last_phi: dict[int, tuple[float, float]] = {}
+
+    @staticmethod
+    def _resolve_specs(
+        worker_specs: WorkerSpec | Sequence[WorkerSpec] | None, num_gpus: int
+    ) -> tuple[list[WorkerSpec], WorkerSpec]:
+        """Per-worker specs plus the template for workers added later."""
+        if worker_specs is None:
+            return [WorkerSpec() for _ in range(num_gpus)], WorkerSpec()
+        if isinstance(worker_specs, WorkerSpec):
+            return [worker_specs] * num_gpus, worker_specs
+        specs = list(worker_specs)
+        if not specs or any(not isinstance(spec, WorkerSpec) for spec in specs):
+            raise ValueError(
+                "worker_specs must be a WorkerSpec or a non-empty sequence "
+                f"of them, got {worker_specs!r}"
+            )
+        if num_gpus not in (1, len(specs)):
+            raise ValueError(
+                f"worker_specs lists {len(specs)} workers but num_gpus is "
+                f"{num_gpus}; list one spec per worker (or omit num_gpus)"
+            )
+        # scale-outs on a mixed cluster default to plain on-demand: the
+        # list pins the *starting* mix, not a growth recipe
+        return specs, WorkerSpec()
 
     @staticmethod
     def _resolve_schedulers(
@@ -234,9 +425,52 @@ class CloudCluster:
                     # measurement so no shard's φ-aware scheduler treats
                     # an already-measured camera as unmeasured drift
                     label_observer=self._broadcast_label,
+                    spec=self.worker_specs[worker_id],
                 )
             )
         return self
+
+    def start_revocations(
+        self, scheduler: EventScheduler, horizon: float = float("inf")
+    ) -> None:
+        """Arm the revocation process against the running fleet's kernel.
+
+        Called once per run (after :meth:`bind`): scripted traces are
+        scheduled verbatim, and every already-provisioned preemptible
+        worker draws its seeded uptime.  Workers added later
+        (autoscaling) draw at :meth:`add_worker` time.  Draws landing
+        beyond ``horizon`` are dropped — the capacity outlives the
+        episode, so the revocation can never be observed.  No-op
+        without a process: clusters that do not opt in schedule zero
+        revocation events.
+        """
+        self._event_scheduler = scheduler
+        self._revocation_horizon = horizon
+        if self.revocations is None:
+            return
+        self.revocations.reset()
+        if self.revocations.scripted:
+            for time, worker_id in self.revocations.trace:
+                if time <= horizon + 1e-9:
+                    scheduler.schedule(RevocationEvent(time=time, worker_id=worker_id))
+            return
+        for worker in self.workers:
+            self._arm_revocation(worker, now=0.0)
+
+    def _arm_revocation(self, worker: CloudActor, now: float) -> None:
+        """Draw and schedule one spot worker's revocation (seeded mode)."""
+        if (
+            self.revocations is None
+            or self.revocations.scripted
+            or self._event_scheduler is None
+            or not worker.spec.preemptible
+        ):
+            return
+        fires_at = now + self.revocations.draw_uptime()
+        if fires_at <= self._revocation_horizon + 1e-9:
+            self._event_scheduler.schedule(
+                RevocationEvent(time=fires_at, worker_id=worker.worker_id)
+            )
 
     def _broadcast_label(self, camera_id: int, phi: float, now: float) -> None:
         self._last_phi[camera_id] = (phi, now)
@@ -288,14 +522,19 @@ class CloudCluster:
             )
         return built
 
-    def add_worker(self, now: float = 0.0) -> CloudActor:
+    def add_worker(
+        self, now: float = 0.0, spec: WorkerSpec | None = None
+    ) -> CloudActor:
         """Bring one more GPU worker online mid-run (scale-out).
 
         The worker shares the tenant registry and per-tenant accounting,
         gets a fresh scheduler pre-registered with every tenant's weight
         and replayed with the last measured φ per camera, and starts
-        taking placements from the next arriving job.  Returns the new
-        worker (its ``worker_id`` is the next never-reused index).
+        taking placements from the next arriving job.  ``spec`` picks
+        its hardware profile (default: the cluster's template spec — a
+        spot-preferring autoscaler passes its own); a preemptible spec
+        immediately draws its seeded revocation uptime.  Returns the
+        new worker (its ``worker_id`` is the next never-reused index).
         """
         if not self.workers:
             raise RuntimeError("bind the cluster before resizing it")
@@ -305,6 +544,7 @@ class CloudCluster:
             scheduler.register_tenant(camera_id, weight=weight)
         for camera_id, (phi, measured_at) in self._last_phi.items():
             scheduler.on_labeled(camera_id, phi, measured_at)
+        spec = spec or self._default_spec
         worker = CloudActor(
             self.cloud,
             self.transport,
@@ -315,11 +555,14 @@ class CloudCluster:
             tenants=self.tenants,
             gpu_seconds_by_camera=self.gpu_seconds_by_camera,
             label_observer=self._broadcast_label,
+            spec=spec,
         )
         worker.provisioned_since = now
         self.workers.append(worker)
         self.schedulers.append(scheduler)
+        self.worker_specs.append(spec)
         self._provision_log.append((now, +1))
+        self._arm_revocation(worker, now)
         return worker
 
     def remove_worker(
@@ -425,6 +668,43 @@ class CloudCluster:
             timeline.append((time, count))
         return timeline
 
+    def worker_provisioned_seconds(self, worker: CloudActor, horizon: float) -> float:
+        """Wall-seconds one worker charged for over [0, horizon]."""
+        end = horizon if worker.retired_at is None else min(worker.retired_at, horizon)
+        return max(0.0, end - max(0.0, worker.provisioned_since))
+
+    def dollar_cost(self, horizon: float) -> float:
+        """What the run's capacity cost: Σ cost rate × provisioned seconds.
+
+        Every worker bills its :class:`~repro.core.scheduling.WorkerSpec`
+        cost rate for each provisioned wall-second — busy or idle —
+        from when it came online until it retired (drain tail included;
+        a revoked spot worker stops billing at the revocation instant).
+        With the default spec (rate 1.0) this equals
+        :meth:`provisioned_gpu_seconds`, which is what the golden pin
+        asserts.
+        """
+        return sum(
+            worker.spec.cost_per_gpu_second
+            * self.worker_provisioned_seconds(worker, horizon)
+            for worker in self.workers
+        )
+
+    def gpu_seconds_by_tier(self, horizon: float) -> dict[str, float]:
+        """Provisioned GPU-seconds split by billing tier (spot/on-demand)."""
+        by_tier: dict[str, float] = {}
+        for worker in self.workers:
+            tier = worker.spec.tier
+            by_tier[tier] = by_tier.get(tier, 0.0) + self.worker_provisioned_seconds(
+                worker, horizon
+            )
+        return by_tier
+
+    @property
+    def num_revocations(self) -> int:
+        """Spot revocations that actually hit a provisioned worker."""
+        return len(self.revocation_log)
+
     # -- placement ------------------------------------------------------------
     def _worker_at(self, index: int) -> CloudActor:
         if not 0 <= index < len(self.workers):
@@ -476,6 +756,88 @@ class CloudCluster:
     def on_labeling_done(self, event: LabelingDone, scheduler: EventScheduler) -> None:
         """Route a busy-period completion back to the worker that ran it."""
         self._worker_at(event.worker_id).on_labeling_done(event, scheduler)
+
+    def on_revocation(self, event: RevocationEvent, scheduler: EventScheduler) -> None:
+        """A spot worker's capacity was pulled: retire it *right now*.
+
+        Unlike the voluntary :meth:`remove_worker` drain, a revocation
+        is involuntary and immediate:
+
+        * the worker stops charging provisioned capacity at the
+          revocation instant (a voluntary drain already in progress has
+          its future retirement stamp moved up);
+        * its in-flight busy period is killed
+          (:meth:`~repro.core.actors.CloudActor.preempt`): the
+          interrupted jobs re-enter placement carrying either their
+          remaining service (``"checkpoint"`` mode) or their full
+          service again (``"relabel"`` — the elapsed work is counted as
+          wasted);
+        * queued jobs hand off through the drain path (no re-admission
+          — their uplink is paid for), and sticky placements remap
+          against the shrunken worker set;
+        * if no active worker would remain, an emergency on-demand
+          worker is provisioned first — spot revocation must never
+          leave admitted uploads with nowhere to go (this capacity
+          floor deliberately ignores any autoscaler ``max_gpus`` spend
+          bound).
+
+        Stale events — a worker that already fully retired, was already
+        revoked, or (scripted traces) was never provisioned by the time
+        the entry fires — are ignored: a seeded draw can outlive a
+        voluntary drain of the same worker, and a trace may target a
+        worker the autoscaler was expected to add but did not.
+        Revoking a non-preemptible worker is a scenario bug and raises.
+        """
+        if not 0 <= event.worker_id < len(self.workers):
+            return  # the targeted worker never came online: stale entry
+        worker = self.workers[event.worker_id]
+        now = event.time
+        if worker.revoked:
+            return
+        if not worker.spec.preemptible:
+            raise ValueError(
+                f"worker {worker.worker_id} is on-demand capacity and cannot "
+                "be revoked; scripted traces may only target preemptible "
+                "workers"
+            )
+        finished = worker.busy_until <= now + 1e-12 and not worker.queue
+        if worker.retired_at is not None and finished:
+            return  # already fully retired before the revocation fired
+        worker.revoked = True
+        worker.draining = True
+        recovered, wasted = worker.preempt(now, scheduler, self.revocation_mode)
+        if self.revocation_mode == "checkpoint":
+            self.num_checkpoint_resumed_jobs += len(recovered)
+        else:
+            self.num_relabeled_jobs += len(recovered)
+        self.wasted_gpu_seconds += wasted
+        handoff = recovered + list(worker.queue)
+        worker.queue = deque()
+        # capacity stops charging NOW; a voluntary drain's future
+        # retirement stamp (in-flight tail, or a no-drain run-dry
+        # estimate) is superseded by the revocation
+        if worker.retired_at is not None:
+            self._provision_log.remove((worker.retired_at, -1))
+        worker.retired_at = now
+        self._provision_log.append((now, -1))
+        emergency: CloudActor | None = None
+        if not self.active_workers:
+            # explicitly on-demand: falling back to the cluster template
+            # could mint another spot worker into the same revocation storm
+            emergency = self.add_worker(now, spec=WorkerSpec())
+        for job in handoff:
+            self._place_handoff(job, now, scheduler)
+        self.revocation_log.append(
+            RevocationRecord(
+                time=now,
+                worker_id=worker.worker_id,
+                mode=self.revocation_mode,
+                jobs_in_flight=len(recovered),
+                jobs_queued=len(handoff) - len(recovered),
+                wasted_gpu_seconds=wasted,
+                emergency_worker_id=None if emergency is None else emergency.worker_id,
+            )
+        )
 
     def on_labels_for_training(
         self,

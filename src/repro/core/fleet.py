@@ -41,11 +41,16 @@ from repro.core.autoscaling import (
     build_autoscaler,
 )
 from repro.core.cloud import CloudServer
-from repro.core.cluster import CloudCluster, SchedulerSpec
+from repro.core.cluster import (
+    CloudCluster,
+    RevocationProcess,
+    RevocationRecord,
+    SchedulerSpec,
+)
 from repro.core.config import ShoggothConfig
 from repro.core.edge import EdgeDevice
 from repro.core.sampling import SamplingRateController
-from repro.core.scheduling import PlacementPolicy, jain_fairness
+from repro.core.scheduling import PlacementPolicy, WorkerSpec, jain_fairness
 from repro.core.session import SessionOptions, SessionResult, resolve_session_config
 from repro.core.strategies import build_strategy
 from repro.detection.student import StudentDetector
@@ -152,6 +157,38 @@ class FleetResult:
     #: SLO (0.0 when the policy has no latency target — check
     #: ``slo_seconds`` to tell "met the SLO" from "had none")
     slo_violation_fraction: float = 0.0
+    #: hardware profile of every worker ever provisioned (index = id)
+    worker_specs: list[WorkerSpec] = field(default_factory=list)
+    #: what the run's capacity cost in dollars: Σ per-worker cost rate ×
+    #: provisioned wall-seconds (equals ``gpu_seconds_provisioned`` for
+    #: the default all-on-demand rate of 1.0)
+    dollar_cost: float = 0.0
+    #: provisioned GPU-seconds split by billing tier ("on_demand"/"spot")
+    gpu_seconds_by_tier: dict[str, float] = field(default_factory=dict)
+    #: spot revocations that hit, in time order (with recovery details)
+    revocation_records: list[RevocationRecord] = field(default_factory=list)
+    #: in-flight jobs killed by revocations and redone from scratch
+    num_relabeled_jobs: int = 0
+    #: in-flight jobs killed by revocations and checkpoint-resumed
+    num_checkpoint_resumed_jobs: int = 0
+    #: wall-clock GPU work thrown away by relabel-mode revocations
+    wasted_gpu_seconds: float = 0.0
+
+    @property
+    def num_revocations(self) -> int:
+        """How many spot workers lost their capacity mid-run."""
+        return len(self.revocation_records)
+
+    @property
+    def spot_gpu_seconds(self) -> float:
+        """Provisioned GPU-seconds billed at the spot tier."""
+        return self.gpu_seconds_by_tier.get("spot", 0.0)
+
+    @property
+    def spot_fraction(self) -> float:
+        """Share of provisioned capacity that ran on spot workers."""
+        total = sum(self.gpu_seconds_by_tier.values())
+        return self.spot_gpu_seconds / total if total > 0 else 0.0
 
     @property
     def num_cameras(self) -> int:
@@ -312,7 +349,11 @@ class FleetSession:
     (``"none"`` — the default, fixed cluster —, ``"slo"``, ``"step"``
     or an :class:`~repro.core.autoscaling.AutoscalePolicy` instance)
     that may grow/shrink the cluster online from the queue-delay
-    signal.
+    signal.  ``worker_specs`` describes the hardware mix (speed / cost
+    rate / spot flag per worker), ``revocations`` attaches a
+    :class:`~repro.core.cluster.RevocationProcess` that kills spot
+    workers mid-run, and ``revocation_mode`` picks how interrupted jobs
+    recover (``"relabel"`` from scratch or ``"checkpoint"`` resume).
     """
 
     def __init__(
@@ -332,6 +373,9 @@ class FleetSession:
         placement: PlacementPolicy | str | None = None,
         cluster: CloudCluster | None = None,
         autoscaler: AutoscalePolicy | str | None = None,
+        worker_specs: WorkerSpec | list[WorkerSpec] | None = None,
+        revocations: RevocationProcess | None = None,
+        revocation_mode: str = "relabel",
     ) -> None:
         if not cameras:
             raise ValueError("a fleet needs at least one camera")
@@ -340,15 +384,42 @@ class FleetSession:
         if duplicates:
             raise ValueError(f"camera names must be unique, duplicated: {duplicates}")
         if cluster is not None:
-            if scheduler is not None or placement is not None or num_gpus != 1:
+            if (
+                scheduler is not None
+                or placement is not None
+                or num_gpus != 1
+                or worker_specs is not None
+                or revocations is not None
+                or revocation_mode != "relabel"
+            ):
                 raise ValueError(
                     "pass either a ready cluster or the scheduler/num_gpus/"
-                    "placement knobs, not both"
+                    "placement/worker_specs/revocations/revocation_mode "
+                    "knobs, not both"
                 )
             self.cluster = cluster
         else:
             self.cluster = CloudCluster(
-                num_gpus=num_gpus, placement=placement, scheduler=scheduler
+                num_gpus=num_gpus,
+                placement=placement,
+                scheduler=scheduler,
+                worker_specs=worker_specs,
+                revocations=revocations,
+                revocation_mode=revocation_mode,
+            )
+        # fail now, not at the first revocation: recovering from a spot
+        # kill may need an emergency worker, which a cluster built
+        # around one ready GpuScheduler instance cannot mint
+        if (
+            self.cluster.revocations is not None
+            and any(spec.preemptible for spec in self.cluster.worker_specs)
+            and not self.cluster.can_grow
+        ):
+            raise ValueError(
+                "a cluster with preemptible workers and a revocation process "
+                "must be able to provision replacements; construct it with a "
+                "scheduler policy name or a zero-arg factory, not a single "
+                "GpuScheduler instance"
             )
         self.autoscaler = build_autoscaler(autoscaler)
         # fail now, not minutes into the run at the first scale-out: a
@@ -476,6 +547,9 @@ class FleetSession:
         # bit-for-bit (and event-for-event) the fixed-cluster run
         controller = AutoscaleController(self.autoscaler, cluster, horizon=duration)
         controller.start(scheduler)
+        # arm the spot-revocation process (no-op without one): scripted
+        # traces schedule verbatim, seeded spot workers draw uptimes
+        cluster.start_revocations(scheduler, horizon=duration)
         kernel = SessionKernel(
             scheduler,
             edge_actors=edge_actors,
@@ -532,4 +606,11 @@ class FleetSession:
             gpu_seconds_provisioned=cluster.provisioned_gpu_seconds(duration),
             slo_seconds=slo,
             slo_violation_fraction=violations,
+            worker_specs=list(cluster.worker_specs),
+            dollar_cost=cluster.dollar_cost(duration),
+            gpu_seconds_by_tier=cluster.gpu_seconds_by_tier(duration),
+            revocation_records=list(cluster.revocation_log),
+            num_relabeled_jobs=cluster.num_relabeled_jobs,
+            num_checkpoint_resumed_jobs=cluster.num_checkpoint_resumed_jobs,
+            wasted_gpu_seconds=cluster.wasted_gpu_seconds,
         )

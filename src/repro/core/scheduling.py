@@ -47,9 +47,20 @@ second policy axis appears *in front of* the per-GPU schedulers: a
 :class:`PlacementPolicy` maps each arriving :class:`GpuJob` to one of N
 GPU workers, generalising scheduling from "which queued jobs next?" to
 (gpu, jobs) assignments — placement picks the gpu, that worker's
-:class:`GpuScheduler` picks the jobs.  Four placements ship:
-round-robin, least-loaded (by queued GPU-seconds), sticky camera-
-affinity hashing, and power-of-two-choices.
+:class:`GpuScheduler` picks the jobs.  Five placements ship:
+round-robin, least-loaded (by speed-weighted pending wall-seconds),
+sticky camera-affinity hashing, power-of-two-choices, and
+cheapest-feasible (cost-aware: the cheapest worker whose backlog still
+fits a wait budget).
+
+Workers are no longer interchangeable: every worker carries a
+:class:`WorkerSpec` — a speed multiplier (mixed GPU generations), a
+cost rate (dollars per provisioned GPU-second) and a ``preemptible``
+flag marking spot capacity the provider may revoke mid-run
+(:class:`~repro.runtime.events.RevocationEvent`).  Placement policies
+see the spec through the :class:`GpuWorkerView` protocol, which is how
+least-loaded weighs backlog by speed and cheapest-feasible reads the
+cost rate.
 """
 
 from __future__ import annotations
@@ -71,12 +82,15 @@ __all__ = [
     "DriftAwareScheduler",
     "SCHEDULERS",
     "build_scheduler",
+    "WorkerSpec",
+    "WORKER_TIERS",
     "GpuWorkerView",
     "PlacementPolicy",
     "RoundRobinPlacement",
     "LeastLoadedPlacement",
     "StickyPlacement",
     "PowerOfTwoPlacement",
+    "CheapestFeasiblePlacement",
     "PLACEMENTS",
     "build_placement",
     "jain_fairness",
@@ -442,6 +456,61 @@ def build_scheduler(
 
 
 # ---------------------------------------------------------------------------
+# worker specs: heterogeneous + preemptible (spot) GPU capacity
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Resource profile of one GPU worker: speed, cost rate, spot flag.
+
+    ``speed`` is a service-rate multiplier relative to the nominal GPU
+    the service model (:class:`~repro.core.cloud.CloudServer`) assumes:
+    a worker with speed 2.0 finishes a busy period in half the nominal
+    wall-clock time.  Per-tenant GPU-second accounting stays *nominal*
+    (the work done), while busy/provisioned clocks are wall-clock —
+    which is what the cost rate bills.  ``cost_per_gpu_second`` is
+    charged for every provisioned wall-second, busy or idle, until the
+    worker retires (a revoked spot worker stops charging the instant
+    its capacity is pulled).  ``preemptible`` marks spot capacity a
+    :class:`~repro.core.cluster.RevocationProcess` may revoke mid-run.
+
+    The defaults (speed 1.0, cost 1.0, on-demand) make every worker of
+    a spec-less cluster bit-for-bit the pre-spec worker, which is what
+    the golden pin in ``tests/core/test_cluster.py`` holds the refactor
+    to.
+    """
+
+    #: service-rate multiplier vs. the nominal service model (> 0)
+    speed: float = 1.0
+    #: dollars charged per provisioned wall-clock GPU-second (>= 0)
+    cost_per_gpu_second: float = 1.0
+    #: spot capacity: the provider may revoke this worker mid-run
+    preemptible: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.speed > 0:
+            raise ValueError(f"worker speed must be positive, got {self.speed}")
+        if self.cost_per_gpu_second < 0:
+            raise ValueError(
+                f"cost_per_gpu_second must be >= 0, got {self.cost_per_gpu_second}"
+            )
+
+    @property
+    def tier(self) -> str:
+        """Billing tier the cost accounting buckets this worker under."""
+        return "spot" if self.preemptible else "on_demand"
+
+
+#: reference tiers for demos/benchmarks: spot capacity at the typical
+#: ~70% discount, plus a faster premium on-demand generation
+WORKER_TIERS: dict[str, WorkerSpec] = {
+    "on_demand": WorkerSpec(),
+    "spot": WorkerSpec(cost_per_gpu_second=0.3, preemptible=True),
+    "on_demand_fast": WorkerSpec(speed=2.0, cost_per_gpu_second=2.2),
+    "spot_fast": WorkerSpec(speed=2.0, cost_per_gpu_second=0.66, preemptible=True),
+}
+
+
+# ---------------------------------------------------------------------------
 # placement: which GPU worker gets each job (the sharded-cloud axis)
 # ---------------------------------------------------------------------------
 class GpuWorkerView(Protocol):
@@ -451,8 +520,16 @@ class GpuWorkerView(Protocol):
     the policies with lightweight stubs.
     """
 
+    #: the worker's resource profile (speed / cost rate / spot flag)
+    spec: WorkerSpec
+
     def pending_gpu_seconds(self, now: float) -> float:
-        """Residual busy time plus the service time of every queued job."""
+        """Pending wall-seconds: residual busy time plus queued service.
+
+        Queued *nominal* service must be divided by the worker's
+        :class:`WorkerSpec` speed, so placements compare the completion
+        times workers would actually deliver, not raw GPU-seconds.
+        """
         ...
 
 
@@ -507,12 +584,15 @@ class RoundRobinPlacement(PlacementPolicy):
 
 
 class LeastLoadedPlacement(PlacementPolicy):
-    """Send the job to the worker with the fewest queued GPU-seconds.
+    """Send the job to the worker with the fewest pending wall-seconds.
 
     Load is the worker's residual busy time plus the service estimates
     of everything already queued, so a single long training job counts
-    for what it costs, not as one queue slot.  Ties break on the lower
-    worker index (deterministic).
+    for what it costs, not as one queue slot.  Queued service is
+    weighed by the worker's :class:`WorkerSpec` speed (a 2× GPU clears
+    the same nominal backlog in half the wall time), so heterogeneous
+    clusters balance *completion time*, not raw GPU-seconds.  Ties
+    break on the lower worker index (deterministic).
     """
 
     name = "least_loaded"
@@ -616,6 +696,51 @@ class PowerOfTwoPlacement(PlacementPolicy):
         return first
 
 
+class CheapestFeasiblePlacement(PlacementPolicy):
+    """Cost-aware placement: the cheapest worker whose backlog still fits.
+
+    A worker is *feasible* for a job when its pending wall-seconds
+    (residual busy time plus speed-weighted queued service) do not
+    exceed ``max_pending_seconds`` — i.e. the job would start within
+    the wait budget.  Among feasible workers the one with the lowest
+    :class:`WorkerSpec` cost rate wins (ties: less loaded, then lower
+    index), which steers steady-state traffic onto cheap spot capacity
+    while latency headroom lasts.  When *no* worker is feasible the
+    policy degrades to least-loaded — under overload, spending more on
+    an equally-backlogged premium worker buys nothing.
+    """
+
+    name = "cheapest_feasible"
+
+    def __init__(self, max_pending_seconds: float = 0.5) -> None:
+        if max_pending_seconds <= 0:
+            raise ValueError(
+                f"max_pending_seconds must be positive, got {max_pending_seconds}"
+            )
+        self.max_pending_seconds = max_pending_seconds
+
+    def place(
+        self, job: GpuJob, workers: Sequence[GpuWorkerView], now: float
+    ) -> int:
+        """Cheapest worker inside the wait budget; least-loaded fallback."""
+        pending = [worker.pending_gpu_seconds(now) for worker in workers]
+        feasible = [
+            index
+            for index in range(len(workers))
+            if pending[index] <= self.max_pending_seconds + 1e-9
+        ]
+        if feasible:
+            return min(
+                feasible,
+                key=lambda index: (
+                    workers[index].spec.cost_per_gpu_second,
+                    pending[index],
+                    index,
+                ),
+            )
+        return min(range(len(workers)), key=lambda index: (pending[index], index))
+
+
 #: registry threaded through ``CloudCluster(placement=...)``,
 #: ``FleetSession(placement=...)`` and ``run_fleet(placement=...)``
 PLACEMENTS: dict[str, type[PlacementPolicy]] = {
@@ -623,6 +748,7 @@ PLACEMENTS: dict[str, type[PlacementPolicy]] = {
     LeastLoadedPlacement.name: LeastLoadedPlacement,
     StickyPlacement.name: StickyPlacement,
     PowerOfTwoPlacement.name: PowerOfTwoPlacement,
+    CheapestFeasiblePlacement.name: CheapestFeasiblePlacement,
 }
 
 

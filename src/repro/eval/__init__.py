@@ -9,6 +9,7 @@ from repro.eval.results import (
     StrategyRunResult,
     format_table,
     format_comparison_table,
+    format_dollars,
     reduce_metric,
 )
 from repro.eval.runner import (
@@ -25,6 +26,7 @@ __all__ = [
     "StrategyRunResult",
     "format_table",
     "format_comparison_table",
+    "format_dollars",
     "reduce_metric",
     "prepare_student",
     "run_strategy",

@@ -16,7 +16,20 @@ __all__ = [
     "reduce_metric",
     "format_table",
     "format_comparison_table",
+    "format_dollars",
 ]
+
+
+def format_dollars(value: float) -> str:
+    """Render a simulated capacity cost for tables (``"$1,234.56"``).
+
+    The cost unit is whatever the
+    :class:`~repro.core.scheduling.WorkerSpec` rates were written in;
+    only ratios between rows are meaningful, so a fixed two-decimal
+    dollar rendering keeps columns comparable without implying a real
+    currency scale.
+    """
+    return f"${value:,.2f}"
 
 
 @dataclass(frozen=True)

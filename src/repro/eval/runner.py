@@ -3,13 +3,14 @@
 from __future__ import annotations
 
 import os
+from collections import Counter
 from dataclasses import dataclass
 
 from repro.core.autoscaling import AutoscalePolicy
-from repro.core.cluster import CloudCluster, SchedulerSpec
+from repro.core.cluster import CloudCluster, RevocationProcess, SchedulerSpec
 from repro.core.config import ShoggothConfig
 from repro.core.fleet import CameraSpec, FleetResult, FleetSession
-from repro.core.scheduling import PlacementPolicy
+from repro.core.scheduling import PlacementPolicy, WorkerSpec
 from repro.core.session import SessionResult
 from repro.core.strategies import Strategy, build_strategy
 from repro.detection.metrics import (
@@ -20,7 +21,7 @@ from repro.detection.metrics import (
 from repro.detection.pretrain import generate_offline_dataset, pretrain_student
 from repro.detection.student import StudentConfig, StudentDetector
 from repro.detection.teacher import TeacherConfig, TeacherDetector
-from repro.eval.results import StrategyRunResult
+from repro.eval.results import StrategyRunResult, format_dollars
 from repro.runtime.metrics import reduce_metric
 from repro.network.link import LinkConfig, SharedLink
 from repro.video.datasets import DatasetSpec
@@ -262,6 +263,37 @@ class FleetRunResult:
             "scale out/in": f"{fleet.num_scale_outs}/{fleet.num_scale_ins}",
         }
 
+    def cost_row(self) -> dict[str, float | str]:
+        """Row for spot/heterogeneous-capacity tables: the cost axis.
+
+        Units: ``$ cost`` bills each worker's
+        :class:`~repro.core.scheduling.WorkerSpec` rate over its
+        provisioned wall-seconds; ``spot share`` is the fraction of
+        provisioned GPU-seconds on preemptible workers; ``revoked``
+        counts spot workers killed mid-run, with the in-flight jobs
+        they interrupted split into relabeled / checkpoint-resumed; and
+        ``wasted GPU-s`` is labeling/training work thrown away by
+        relabel-mode kills.
+        """
+        fleet = self.fleet
+        tier_counts = Counter(spec.tier for spec in fleet.worker_specs)
+        return {
+            "capacity": "+".join(
+                f"{count}x{tier}" for tier, count in sorted(tier_counts.items())
+            ),
+            "cameras": self.num_cameras,
+            "$ cost": format_dollars(fleet.dollar_cost),
+            "spot share": round(fleet.spot_fraction, 3),
+            "p95 delay (s)": round(fleet.p95_queue_delay, 3),
+            "queue delay (s)": round(fleet.mean_queue_delay, 3),
+            "revoked": fleet.num_revocations,
+            "relabeled/resumed": (
+                f"{fleet.num_relabeled_jobs}/{fleet.num_checkpoint_resumed_jobs}"
+            ),
+            "wasted GPU-s": round(fleet.wasted_gpu_seconds, 2),
+            "provisioned GPU-s": round(fleet.gpu_seconds_provisioned, 1),
+        }
+
 
 def run_fleet(
     cameras: list[CameraSpec],
@@ -277,6 +309,9 @@ def run_fleet(
     placement: PlacementPolicy | str | None = None,
     cluster: CloudCluster | None = None,
     autoscaler: AutoscalePolicy | str | None = None,
+    worker_specs: WorkerSpec | list[WorkerSpec] | None = None,
+    revocations: RevocationProcess | None = None,
+    revocation_mode: str = "relabel",
 ) -> FleetRunResult:
     """Run N cameras against one shared cloud/link and score each stream.
 
@@ -293,7 +328,11 @@ def run_fleet(
     (``"none"`` default, ``"slo"``, ``"step"`` or a policy instance)
     lets the cluster grow/shrink online, which
     ``benchmarks/bench_autoscaling.py`` compares against fixed
-    provisioning.
+    provisioning; ``worker_specs`` + ``revocations`` (+
+    ``revocation_mode``) mix heterogeneous and preemptible spot
+    workers into the cluster, which
+    ``benchmarks/bench_spot_preemption.py`` trades against the
+    all-on-demand cost.
     """
     settings = settings or ExperimentSettings()
     teacher = TeacherDetector(teacher_config or TeacherConfig(seed=settings.seed + 7))
@@ -318,6 +357,9 @@ def run_fleet(
         placement=placement,
         cluster=cluster,
         autoscaler=autoscaler,
+        worker_specs=worker_specs,
+        revocations=revocations,
+        revocation_mode=revocation_mode,
     )
     outcome = fleet.run()
     per_camera = {

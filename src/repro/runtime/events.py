@@ -44,6 +44,7 @@ __all__ = [
     "TrainingDone",
     "ModelDownloadComplete",
     "AutoscaleTick",
+    "RevocationEvent",
     "EventScheduler",
 ]
 
@@ -132,6 +133,27 @@ class TrainingDone(Event):
     window: Any = None
 
     priority: ClassVar[int] = 3
+
+
+@dataclass
+class RevocationEvent(Event):
+    """A preemptible (spot) GPU worker's capacity is revoked right now.
+
+    Scheduled by the cluster's revocation process (a seeded draw per
+    spot worker, or a scripted trace) and handled by
+    :meth:`~repro.core.cluster.CloudCluster.on_revocation`: the worker
+    retires immediately, its in-flight busy period is killed
+    (checkpoint-resumed or re-labeled from scratch, per the cluster's
+    revocation mode) and its queue hands off through the drain path.
+    Ordered *after* same-instant :class:`LabelingDone` completions — a
+    busy period that finishes exactly when the revocation fires is
+    counted as finished, not killed.
+    """
+
+    #: which GPU worker loses its capacity (never-reused cluster id)
+    worker_id: int = 0
+
+    priority: ClassVar[int] = 2
 
 
 @dataclass

@@ -86,12 +86,13 @@ class TestPlacementRegistry:
         with pytest.raises(NotImplementedError):
             PlacementPolicy().place(job(0, 0.0), [StubWorker()], 0.0)
 
-    def test_registry_covers_all_four_placements(self):
+    def test_registry_covers_all_five_placements(self):
         assert set(PLACEMENTS) == {
             "round_robin",
             "least_loaded",
             "sticky",
             "power_of_two",
+            "cheapest_feasible",
         }
 
 
@@ -364,6 +365,54 @@ class TestGoldenOneWorkerCluster:
         plain = make_mixed_fleet().run()
         assert via_knobs.queue_waits == plain.queue_waits
         assert via_knobs.gpu_seconds_by_camera == plain.gpu_seconds_by_camera
+
+    def test_explicit_on_demand_worker_specs_reproduce_pr4_bit_for_bit(self):
+        """A homogeneous all-on-demand WorkerSpec cluster with zero
+        revocations must be indistinguishable from the spec-less PR 4
+        fleet: the heterogeneous/spot machinery is invisible until a
+        non-default spec or a revocation process opts in."""
+        from repro.core.scheduling import WorkerSpec
+
+        golden = PR1_GOLDEN
+        specced = FleetSession(
+            make_mixed_fleet().cameras,
+            student=StudentDetector(StudentConfig(seed=5)),
+            teacher=TeacherDetector(TeacherConfig(seed=9)),
+            config=small_config(),
+            worker_specs=[WorkerSpec(speed=1.0, cost_per_gpu_second=1.0,
+                                     preemptible=False)],
+        ).run()
+        plain = make_mixed_fleet().run()
+        # every shared metric is bit-for-bit (not approx) the PR 4 run
+        assert specced.queue_waits == plain.queue_waits
+        assert specced.training_waits == plain.training_waits
+        assert specced.gpu_seconds_by_camera == plain.gpu_seconds_by_camera
+        assert specced.cloud_busy_seconds == plain.cloud_busy_seconds
+        assert specced.gpu_busy_by_worker == plain.gpu_busy_by_worker
+        assert specced.num_labeling_batches == plain.num_labeling_batches
+        assert specced.gpu_seconds_provisioned == plain.gpu_seconds_provisioned
+        assert specced.mean_queue_delay == pytest.approx(
+            golden["mean_queue_delay"], rel=1e-12
+        )
+        assert specced.cloud_gpu_seconds == pytest.approx(
+            golden["cloud_gpu_seconds"], rel=1e-12
+        )
+        for entry, other in zip(specced.cameras, plain.cameras):
+            assert entry.camera == other.camera
+            assert entry.session.num_uploads == other.session.num_uploads
+            assert (
+                entry.session.bandwidth.uplink_bytes
+                == other.session.bandwidth.uplink_bytes
+            )
+            assert entry.upload_latencies == other.upload_latencies
+        # and the new cost axis collapses to the fixed-capacity story
+        assert specced.dollar_cost == specced.gpu_seconds_provisioned
+        assert specced.gpu_seconds_by_tier == {
+            "on_demand": specced.gpu_seconds_provisioned
+        }
+        assert specced.num_revocations == 0
+        assert specced.spot_fraction == 0.0
+        assert plain.dollar_cost == specced.dollar_cost
 
 
 # ---------------------------------------------------------------------------

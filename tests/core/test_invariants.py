@@ -1,0 +1,238 @@
+"""Randomized simulation-invariant harness over the policy grid.
+
+The scheduler × placement × autoscaler × worker-mix grid is now far too
+large for per-policy golden pins, so this harness samples ~30 seeded
+random fleet configurations across all four axes (plus revocation
+processes and recovery modes) and asserts the *conservation laws* every
+configuration must obey, whatever the policies do:
+
+* **frame conservation** — every sampled upload is labeled exactly
+  once, explicitly rejected at admission, or revoked-and-relabeled and
+  then still labeled exactly once (nothing lost, nothing duplicated);
+* **capacity conservation** — no worker is ever busy for more
+  wall-seconds than it was provisioned, and the provisioned integral
+  equals the per-worker and per-tier sums the cost accounting bills;
+* **monotone timelines** — per-worker completion order, the provision
+  timeline, scaling events and revocation records all advance in
+  non-decreasing time, and provisioned counts never go negative;
+* **identity** — worker ids are never reused, every completed job is
+  completed by exactly one worker, queue delays are non-negative.
+
+Each seed is an independent pytest case, so a failure names the exact
+configuration (printed in the assertion message) to replay.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CameraSpec, FleetSession
+from repro.core.autoscaling import SloScaler, StepScaler
+from repro.core.cluster import REVOCATION_MODES, RevocationProcess
+from repro.core.scheduling import PLACEMENTS, SCHEDULERS, WORKER_TIERS
+from repro.detection import StudentConfig, StudentDetector, TeacherConfig, TeacherDetector
+from repro.video import build_dataset
+
+from test_scheduling import small_config
+
+NUM_CONFIGS = 30
+DATASETS = ["detrac", "kitti", "waymo", "stationary"]
+STRATEGIES = ["shoggoth", "ams", "shoggoth", "shoggoth"]
+TIERS = list(WORKER_TIERS.values())
+
+
+def sample_config(seed: int) -> dict:
+    """Draw one fleet configuration from the full policy grid."""
+    rng = np.random.default_rng(1000 + seed)
+
+    def pick(options):
+        return options[int(rng.integers(len(options)))]
+
+    num_gpus = int(rng.integers(1, 4))
+    config = {
+        "seed": seed,
+        "scheduler": pick(sorted(SCHEDULERS)),
+        "placement": pick(sorted(PLACEMENTS)),
+        "num_gpus": num_gpus,
+        "worker_specs": [pick(TIERS) for _ in range(num_gpus)],
+        "revocation_mode": pick(REVOCATION_MODES),
+        "n_cameras": int(rng.integers(3, 6)),
+        "num_frames": 120,
+    }
+    has_spot = any(spec.preemptible for spec in config["worker_specs"])
+    config["revocations"] = (
+        RevocationProcess(
+            mean_uptime_seconds=float(rng.uniform(1.5, 6.0)), seed=seed
+        )
+        if has_spot and rng.random() < 0.8
+        else None
+    )
+    autoscaler = pick(["none", "none", "slo", "slo", "step"])
+    if autoscaler == "slo":
+        spot_out = rng.random() < 0.5
+        config["autoscaler"] = SloScaler(
+            slo_seconds=float(rng.uniform(0.05, 0.5)),
+            interval_seconds=0.5,
+            window_seconds=2.0,
+            cooldown_seconds=0.5,
+            min_gpus=1,
+            max_gpus=num_gpus + 2,
+            sustained_idle_ticks=2,
+            scale_out_spec=WORKER_TIERS["spot"] if spot_out else None,
+            revocation_headroom=1 if spot_out else 0,
+        )
+    elif autoscaler == "step":
+        config["autoscaler"] = StepScaler(
+            high_utilization=0.8,
+            low_utilization=0.3,
+            interval_seconds=0.5,
+            cooldown_seconds=0.5,
+            min_gpus=1,
+            max_gpus=num_gpus + 2,
+        )
+    else:
+        config["autoscaler"] = None
+    return config
+
+
+def run_config(config: dict):
+    cameras = [
+        CameraSpec(
+            name=f"cam{i}",
+            dataset=build_dataset(DATASETS[i % 4], num_frames=config["num_frames"]),
+            strategy=STRATEGIES[i % 4],
+            seed=i,
+        )
+        for i in range(config["n_cameras"])
+    ]
+    session = FleetSession(
+        cameras,
+        student=StudentDetector(StudentConfig(seed=5)),
+        teacher=TeacherDetector(TeacherConfig(seed=9)),
+        config=small_config(),
+        scheduler=config["scheduler"],
+        placement=config["placement"],
+        num_gpus=config["num_gpus"],
+        worker_specs=config["worker_specs"],
+        revocations=config["revocations"],
+        revocation_mode=config["revocation_mode"],
+        autoscaler=config["autoscaler"],
+    )
+    return session, session.run()
+
+
+def describe(config: dict) -> str:
+    """Replay line shown on any invariant failure."""
+    mix = "+".join(spec.tier for spec in config["worker_specs"])
+    scaler = config["autoscaler"].name if config["autoscaler"] else "none"
+    revoker = (
+        f"uptime~{config['revocations'].mean_uptime_seconds:.2f}s"
+        if config["revocations"]
+        else "none"
+    )
+    return (
+        f"seed={config['seed']} scheduler={config['scheduler']} "
+        f"placement={config['placement']} gpus={config['num_gpus']} "
+        f"mix={mix} autoscaler={scaler} revocations={revoker} "
+        f"mode={config['revocation_mode']} cams={config['n_cameras']}"
+    )
+
+
+@pytest.mark.parametrize("seed", range(NUM_CONFIGS))
+def test_simulation_invariants(seed):
+    config = sample_config(seed)
+    tag = describe(config)
+    session, result = run_config(config)
+    cluster = session.cluster
+
+    # -- frame conservation ------------------------------------------------
+    sent = sum(entry.session.num_uploads for entry in result.cameras)
+    labeled = len(result.queue_waits)
+    rejected = result.num_rejected_uploads
+    assert labeled + rejected == sent, (
+        f"{tag}: {sent} uploads sent but {labeled} labeled + {rejected} "
+        "rejected — a revocation or drain lost or duplicated a job"
+    )
+    # every completed job was completed by exactly one worker
+    all_completed = [
+        job for worker in cluster.workers for job in worker.completed_jobs
+    ]
+    assert len({id(job) for job in all_completed}) == len(all_completed), (
+        f"{tag}: a labeling job appears in two workers' completion logs"
+    )
+    assert all(job.wait_seconds >= -1e-9 for job in all_completed), (
+        f"{tag}: negative queue delay — service started before arrival"
+    )
+    # revoked-and-relabeled work is counted, and only when revocations hit
+    recovered = result.num_relabeled_jobs + result.num_checkpoint_resumed_jobs
+    assert recovered == sum(
+        record.jobs_in_flight for record in result.revocation_records
+    ), f"{tag}: relabel/resume counters disagree with the revocation log"
+    if not result.revocation_records:
+        assert recovered == 0 and result.wasted_gpu_seconds == 0.0, (
+            f"{tag}: revocation accounting moved without any revocation"
+        )
+
+    # -- capacity conservation --------------------------------------------
+    horizon = result.duration_seconds
+    provisioned_total = 0.0
+    for worker in cluster.workers:
+        provisioned = cluster.worker_provisioned_seconds(worker, horizon)
+        provisioned_total += provisioned
+        assert worker.busy_seconds <= provisioned + 1e-6, (
+            f"{tag}: worker {worker.worker_id} busy {worker.busy_seconds:.6f}s "
+            f"exceeds its provisioned {provisioned:.6f}s"
+        )
+    assert result.gpu_seconds_provisioned == pytest.approx(
+        provisioned_total, abs=1e-6
+    ), f"{tag}: provision-log integral disagrees with per-worker lifetimes"
+    assert sum(result.gpu_seconds_by_tier.values()) == pytest.approx(
+        provisioned_total, abs=1e-6
+    ), f"{tag}: per-tier capacity split loses GPU-seconds"
+    assert result.dollar_cost >= 0.0
+    expected_cost = sum(
+        worker.spec.cost_per_gpu_second
+        * cluster.worker_provisioned_seconds(worker, horizon)
+        for worker in cluster.workers
+    )
+    assert result.dollar_cost == pytest.approx(expected_cost, abs=1e-6), (
+        f"{tag}: dollar cost disagrees with per-worker billing"
+    )
+
+    # -- monotone timelines -------------------------------------------------
+    for worker in cluster.workers:
+        completions = [job.completion for job in worker.completed_jobs]
+        assert completions == sorted(completions), (
+            f"{tag}: worker {worker.worker_id} completions out of order"
+        )
+    timeline = cluster.provision_timeline()
+    times = [time for time, _ in timeline]
+    assert times == sorted(times), f"{tag}: provision timeline not sorted"
+    counts = [count for _, count in timeline]
+    assert all(count >= 0 for count in counts), (
+        f"{tag}: provisioned worker count went negative"
+    )
+    assert counts[0] >= 1 and max(counts) <= len(cluster.workers), (
+        f"{tag}: provision counts outside [1, {len(cluster.workers)}]"
+    )
+    event_times = [event.time for event in result.scaling_events]
+    assert event_times == sorted(event_times), (
+        f"{tag}: scaling events out of time order"
+    )
+    revocation_times = [record.time for record in result.revocation_records]
+    assert revocation_times == sorted(revocation_times), (
+        f"{tag}: revocation records out of time order"
+    )
+
+    # -- identity ------------------------------------------------------------
+    ids = [worker.worker_id for worker in cluster.workers]
+    assert ids == list(range(len(cluster.workers))), (
+        f"{tag}: worker ids reused or renumbered: {ids}"
+    )
+    assert len(result.worker_specs) == len(cluster.workers)
+    for record in result.revocation_records:
+        victim = cluster.workers[record.worker_id]
+        assert victim.spec.preemptible and victim.revoked, (
+            f"{tag}: revocation hit a non-preemptible or non-revoked worker"
+        )
