@@ -1,0 +1,450 @@
+"""Kernel throughput — raw events/sec of the discrete-event core at fleet scale.
+
+Not a table from the paper: this measures the simulation *kernel* itself
+(`repro.runtime.events`), which every fleet-scale result sits on.  A
+synthetic fleet of N cameras drives the scheduler through the same event
+mix a real run produces — frame-arrival chains, uploads whose completion
+is re-projected shared-link style (cancel + reschedule per concurrent
+transfer change), label deliveries and model downloads — without any
+detector math, so the measured cost is pure kernel: heap ops, event
+allocation, cancellation garbage and backlog queries.
+
+Two loop shapes are measured per fleet size:
+
+* ``pure`` — dispatch only; isolates heap push/pop and allocation;
+* ``monitored`` — additionally queries ``len(scheduler)`` (the live
+  backlog) every ``PROBE_EVERY`` events, the way autoscalers and
+  admission policies poll queue depth.  This is the shape the speedup
+  bar is asserted on: the pre-PR kernel recomputed ``len`` by scanning
+  the whole heap, which goes quadratic at fleet scale.
+
+A faithful replica of the pre-PR kernel (non-slots dataclass events,
+``itertools.count`` sequence, O(heap) ``__len__``, peek+pop run loop, no
+compaction) is vendored below and run on the identical workload, and the
+benchmark asserts the current kernel clears ``SPEEDUP_BAR`` (default 2x)
+events/sec over it at the 1k-camera configuration.  Every invocation
+appends one run — events/sec, wall-clock and peak RSS per fleet size —
+to the machine-readable ``BENCH_kernel.json`` trajectory at the repo
+root (see ``docs/performance.md`` for how to read it).
+
+Expected runtime: ~30 CPU-seconds at the default scale (100/1k/10k
+cameras, one million events per config).
+
+Environment knobs: ``REPRO_BENCH_KERNEL_CAMERAS`` (comma list of fleet
+sizes), ``REPRO_BENCH_KERNEL_EVENTS`` (events per config),
+``REPRO_BENCH_KERNEL_BASELINE_EVENTS`` (events for the head-to-head
+baseline pair), ``REPRO_BENCH_KERNEL_PROBE_EVERY`` (backlog-probe
+period) and ``REPRO_BENCH_KERNEL_SPEEDUP_BAR`` (asserted floor).  The CI
+smoke job shrinks the fleet grid and event budgets with these.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import os
+import resource
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, ClassVar
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.eval.results import append_bench_run, format_table
+from repro.runtime import events as kernel
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH_JSON = os.path.join(REPO_ROOT, "BENCH_kernel.json")
+
+#: fleet sizes to sweep (the CI smoke job trims the 10k point)
+CAMERAS = [
+    int(x)
+    for x in os.environ.get("REPRO_BENCH_KERNEL_CAMERAS", "100,1000,10000").split(",")
+]
+#: dispatched-event budget per fleet size
+EVENTS = int(os.environ.get("REPRO_BENCH_KERNEL_EVENTS", "1000000"))
+#: event budget for the head-to-head old-vs-new pair (kept smaller than
+#: the sweep: the pre-PR kernel is the slow side of the comparison)
+BASELINE_EVENTS = int(os.environ.get("REPRO_BENCH_KERNEL_BASELINE_EVENTS", "150000"))
+#: how often the monitored loop polls the live backlog — roughly one
+#: probe per admission/autoscale decision at the workload's upload rate
+PROBE_EVERY = int(os.environ.get("REPRO_BENCH_KERNEL_PROBE_EVERY", "8"))
+#: asserted events/sec floor of new/old at the 1k-camera config
+SPEEDUP_BAR = float(os.environ.get("REPRO_BENCH_KERNEL_SPEEDUP_BAR", "2.0"))
+
+FRAME_INTERVAL = 1.0 / 30.0
+UPLOAD_EVERY = 8  # every Nth frame of a camera starts an upload
+UPLOAD_BASE_SECONDS = 0.06
+LABEL_DELAY_SECONDS = 0.004
+MODEL_DELAY_SECONDS = 0.05
+MODEL_EVERY_LABELS = 4
+CAMERAS_PER_LINK = 8
+
+
+# ---------------------------------------------------------------------------
+# vendored pre-PR kernel (the pinned baseline)
+# ---------------------------------------------------------------------------
+# A faithful, self-contained replica of src/repro/runtime/events.py as it
+# stood before this benchmark existed: plain (non-slots) dataclass
+# events, itertools.count sequence numbers, __len__/__bool__ scanning the
+# whole heap, a peek+pop run loop and no compaction of cancelled
+# entries.  Only the event types the synthetic workload uses are
+# replicated; priorities match the real kernel's classes.
+@dataclass
+class _OldEvent:
+    time: float
+    camera_id: int = 0
+    cancelled: bool = field(default=False, compare=False)
+
+    priority: ClassVar[int] = 5
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+@dataclass
+class _OldModelDownloadComplete(_OldEvent):
+    model_state: dict = field(default_factory=dict)
+
+    priority: ClassVar[int] = 0
+
+
+@dataclass
+class _OldUploadComplete(_OldEvent):
+    batch: list = field(default_factory=list)
+    alpha: float = 0.0
+    lambda_usage: float = 0.0
+    sent_at: float = 0.0
+
+    priority: ClassVar[int] = 1
+
+
+@dataclass
+class _OldLabelsReady(_OldEvent):
+    response: Any = None
+
+    priority: ClassVar[int] = 2
+
+
+@dataclass
+class _OldFrameArrival(_OldEvent):
+    frame: Any = None
+
+    priority: ClassVar[int] = 4
+
+
+class _OldClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def advance_to(self, time: float) -> None:
+        if time > self.now:
+            self.now = time
+
+
+class _OldEventScheduler:
+    """The pre-PR scheduler, verbatim in behaviour."""
+
+    def __init__(self) -> None:
+        self.clock = _OldClock()
+        self._heap: list = []
+        self._sequence = itertools.count()
+        self.num_scheduled = 0
+        self.num_dispatched = 0
+
+    def __len__(self) -> int:
+        return sum(1 for entry in self._heap if not entry[3].cancelled)
+
+    def __bool__(self) -> bool:
+        return any(not entry[3].cancelled for entry in self._heap)
+
+    def schedule(self, event):
+        if event.time < self.clock.now - 1e-9:
+            raise ValueError("cannot schedule event in the past")
+        heapq.heappush(
+            self._heap, (event.time, event.priority, next(self._sequence), event)
+        )
+        self.num_scheduled += 1
+        return event
+
+    def cancel(self, event) -> None:
+        event.cancel()
+
+    def peek(self):
+        while self._heap and self._heap[0][3].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0][3] if self._heap else None
+
+    def pop(self):
+        while self._heap:
+            event = heapq.heappop(self._heap)[3]
+            if event.cancelled:
+                continue
+            self.clock.advance_to(event.time)
+            self.num_dispatched += 1
+            return event
+        return None
+
+    def run(self, handler, until=None) -> int:
+        dispatched = 0
+        while True:
+            nxt = self.peek()
+            if nxt is None or (until is not None and nxt.time > until):
+                return dispatched
+            handler(self.pop())
+            dispatched += 1
+
+
+_OLD_KERNEL = {
+    "scheduler": _OldEventScheduler,
+    "frame": _OldFrameArrival,
+    "upload": _OldUploadComplete,
+    "labels": _OldLabelsReady,
+    "model": _OldModelDownloadComplete,
+}
+_NEW_KERNEL = {
+    "scheduler": kernel.EventScheduler,
+    "frame": kernel.FrameArrival,
+    "upload": kernel.UploadComplete,
+    "labels": kernel.LabelsReady,
+    "model": kernel.ModelDownloadComplete,
+}
+
+
+# ---------------------------------------------------------------------------
+# synthetic fleet workload
+# ---------------------------------------------------------------------------
+class _FleetWorkload:
+    """Deterministic synthetic fleet driving one scheduler instance.
+
+    Per camera: a lazy frame chain (one in-flight FrameArrival, like
+    :class:`~repro.core.actors.SessionKernel`); every ``UPLOAD_EVERY``-th
+    frame starts an upload on the camera's link group.  Each link group
+    keeps one pending completion event and re-projects it (cancel +
+    reschedule) whenever a transfer starts or finishes — the
+    :class:`~repro.network.link.SharedLink` pattern that generates
+    cancellation garbage proportional to fleet activity.  Labels flow
+    back per upload; every ``MODEL_EVERY_LABELS``-th label streams a
+    model download that replaces any undelivered predecessor (the
+    :class:`~repro.core.actors.InstantTransport` pattern).
+    """
+
+    def __init__(self, kernel_api: dict, num_cameras: int, max_events: int) -> None:
+        self.api = kernel_api
+        self.scheduler = kernel_api["scheduler"]()
+        self.num_cameras = num_cameras
+        self.max_events = max_events
+        self.dispatched = 0
+        self.draining = False
+        self._frame_counts = [0] * num_cameras
+        self._label_counts = [0] * num_cameras
+        self._pending_model: list = [None] * num_cameras
+        num_groups = max(1, num_cameras // CAMERAS_PER_LINK)
+        self._group_transfers: list[list[float]] = [[] for _ in range(num_groups)]
+        self._group_pending: list = [None] * num_groups
+        self.num_groups = num_groups
+
+    def prime(self) -> None:
+        """Schedule every camera's first frame (staggered phases)."""
+        frame_cls = self.api["frame"]
+        stagger = FRAME_INTERVAL / self.num_cameras
+        for camera_id in range(self.num_cameras):
+            self.scheduler.schedule(
+                frame_cls(time=camera_id * stagger, camera_id=camera_id)
+            )
+
+    # -- handlers ------------------------------------------------------------
+    def handle(self, event) -> None:
+        """Route one event; counts dispatches and stops growth at budget."""
+        self.dispatched += 1
+        if self.dispatched >= self.max_events:
+            self.draining = True
+        kind = type(event).__name__
+        if kind.endswith("FrameArrival"):
+            self._on_frame(event)
+        elif kind.endswith("UploadComplete"):
+            self._on_upload(event)
+        elif kind.endswith("LabelsReady"):
+            self._on_labels(event)
+        # model downloads need no reaction
+
+    def _on_frame(self, event) -> None:
+        if self.draining:
+            return  # stream ends: in-flight transfers drain out
+        camera_id = event.camera_id
+        count = self._frame_counts[camera_id] = self._frame_counts[camera_id] + 1
+        self.scheduler.schedule(
+            self.api["frame"](time=event.time + FRAME_INTERVAL, camera_id=camera_id)
+        )
+        if count % UPLOAD_EVERY == 0:
+            group = camera_id % self.num_groups
+            transfers = self._group_transfers[group]
+            # processor sharing: each concurrent transfer stretches the pipe
+            completion = event.time + UPLOAD_BASE_SECONDS * (1.0 + 0.1 * len(transfers))
+            transfers.append(completion)
+            self._sync_group(group, camera_id, event.time)
+
+    def _on_upload(self, event) -> None:
+        group = event.camera_id % self.num_groups
+        transfers = self._group_transfers[group]
+        if transfers:
+            transfers.remove(min(transfers))
+        self._group_pending[group] = None
+        self.scheduler.schedule(
+            self.api["labels"](
+                time=event.time + LABEL_DELAY_SECONDS, camera_id=event.camera_id
+            )
+        )
+        self._sync_group(group, event.camera_id, event.time)
+
+    def _on_labels(self, event) -> None:
+        camera_id = event.camera_id
+        count = self._label_counts[camera_id] = self._label_counts[camera_id] + 1
+        if count % MODEL_EVERY_LABELS == 0:
+            previous = self._pending_model[camera_id]
+            if previous is not None and not previous.cancelled:
+                self.scheduler.cancel(previous)
+            self._pending_model[camera_id] = self.scheduler.schedule(
+                self.api["model"](
+                    time=event.time + MODEL_DELAY_SECONDS, camera_id=camera_id
+                )
+            )
+
+    def _sync_group(self, group: int, camera_id: int, now: float) -> None:
+        """Re-project the group's next completion (cancel + reschedule)."""
+        pending = self._group_pending[group]
+        if pending is not None and not pending.cancelled:
+            self.scheduler.cancel(pending)
+            self._group_pending[group] = None
+        transfers = self._group_transfers[group]
+        if not transfers:
+            return
+        self._group_pending[group] = self.scheduler.schedule(
+            self.api["upload"](
+                time=max(now, min(transfers)), camera_id=camera_id, sent_at=now
+            )
+        )
+
+
+def _peak_rss_kb() -> int:
+    """Peak resident set size of this process so far (kB on Linux)."""
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+def _run_workload(
+    kernel_api: dict, num_cameras: int, max_events: int, probe_every: int | None
+) -> dict:
+    """Drive one synthetic fleet to its event budget; measure the kernel.
+
+    ``probe_every=None`` is the pure dispatch loop; an integer adds a
+    ``len(scheduler)`` backlog probe every that-many events (the
+    monitored loop the speedup bar is asserted on).
+    """
+    workload = _FleetWorkload(kernel_api, num_cameras, max_events)
+    scheduler = workload.scheduler
+    inner = workload.handle
+    if probe_every is None:
+        handler: Callable = inner
+    else:
+        state = {"count": 0, "backlog_peak": 0}
+
+        def handler(event) -> None:
+            state["count"] += 1
+            if state["count"] % probe_every == 0:
+                backlog = len(scheduler)
+                if backlog > state["backlog_peak"]:
+                    state["backlog_peak"] = backlog
+            inner(event)
+
+    start = time.perf_counter()
+    workload.prime()
+    scheduler.run(handler)
+    elapsed = time.perf_counter() - start
+    return {
+        "num_cameras": num_cameras,
+        "events": workload.dispatched,
+        "wall_seconds": round(elapsed, 4),
+        "events_per_sec": round(workload.dispatched / elapsed, 1),
+        "peak_rss_kb": _peak_rss_kb(),
+    }
+
+
+@pytest.mark.benchmark(group="kernel")
+def test_kernel_throughput(benchmark, results_dir):
+    """Sweep fleet sizes, pin the old-vs-new speedup, emit BENCH_kernel.json."""
+
+    def run() -> dict:
+        configs = []
+        for num_cameras in CAMERAS:
+            pure = _run_workload(_NEW_KERNEL, num_cameras, EVENTS, None)
+            monitored = _run_workload(_NEW_KERNEL, num_cameras, EVENTS, PROBE_EVERY)
+            configs.append(
+                {
+                    "num_cameras": num_cameras,
+                    "events": monitored["events"],
+                    "wall_seconds": monitored["wall_seconds"],
+                    "events_per_sec": monitored["events_per_sec"],
+                    "events_per_sec_pure": pure["events_per_sec"],
+                    "peak_rss_kb": monitored["peak_rss_kb"],
+                }
+            )
+        # head-to-head on the identical monitored workload: the vendored
+        # pre-PR kernel vs. the current one, same fleet, same budget
+        baseline_cameras = 1000 if 1000 in CAMERAS else max(CAMERAS)
+        old = _run_workload(_OLD_KERNEL, baseline_cameras, BASELINE_EVENTS, PROBE_EVERY)
+        new = _run_workload(_NEW_KERNEL, baseline_cameras, BASELINE_EVENTS, PROBE_EVERY)
+        return {
+            "configs": configs,
+            "baseline_cameras": baseline_cameras,
+            "baseline_events_per_sec": old["events_per_sec"],
+            "new_events_per_sec": new["events_per_sec"],
+            "speedup": round(new["events_per_sec"] / old["events_per_sec"], 2),
+        }
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        {
+            "cameras": config["num_cameras"],
+            "events": config["events"],
+            "wall (s)": config["wall_seconds"],
+            "events/s (monitored)": config["events_per_sec"],
+            "events/s (pure)": config["events_per_sec_pure"],
+            "peak RSS (MB)": round(config["peak_rss_kb"] / 1024.0, 1),
+        }
+        for config in result["configs"]
+    ]
+    table = format_table(
+        rows, title="Kernel throughput — synthetic fleet, pure vs monitored loop"
+    )
+    table += (
+        f"\n\nold kernel @ {result['baseline_cameras']} cameras: "
+        f"{result['baseline_events_per_sec']:.0f} ev/s | new: "
+        f"{result['new_events_per_sec']:.0f} ev/s | speedup: "
+        f"{result['speedup']:.2f}x (bar {SPEEDUP_BAR}x)"
+    )
+    write_result(results_dir, "kernel_throughput.txt", table)
+
+    append_bench_run(
+        BENCH_JSON,
+        {
+            "bench": "kernel_throughput",
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "probe_every": PROBE_EVERY,
+            "speedup_bar": SPEEDUP_BAR,
+            **result,
+        },
+    )
+
+    # every config produced a sane measurement
+    for config in result["configs"]:
+        assert config["events"] > 0 and config["events_per_sec"] > 0
+        assert config["peak_rss_kb"] > 0
+    # the tentpole claim: the optimised kernel clears the bar on the
+    # monitored loop at the 1k-camera configuration
+    assert result["speedup"] >= SPEEDUP_BAR, (
+        f"kernel speedup {result['speedup']:.2f}x at "
+        f"{result['baseline_cameras']} cameras fell below the "
+        f"{SPEEDUP_BAR}x bar vs the pinned pre-PR baseline"
+    )

@@ -400,6 +400,9 @@ class CloudActor:
         self.pending_completion: LabelingDone | None = None
         #: labeling jobs in completion order (queue-delay statistics)
         self.completed_jobs: list[GpuJob] = []
+        #: completed busy periods that served >= 1 labeling job — an O(1)
+        #: running count so fleet summaries never re-scan completed_jobs
+        self.num_labeling_periods = 0
         #: cloud-training jobs in completion order (unified-queue policies)
         self.completed_training_jobs: list[GpuJob] = []
         #: uploads the scheduler turned away at the door
@@ -546,10 +549,12 @@ class CloudActor:
         """Finish a busy period: send labels / trained weights back, restart."""
         if self.pending_completion is event:
             self.pending_completion = None
+        served_labeling = False
         for job in event.jobs:
             job.completion = event.time
             actor = self.tenants[job.camera_id].actor
             if job.kind == LABELING:
+                served_labeling = True
                 response = self._label(
                     job.camera_id, job.batch, job.alpha, job.lambda_usage, event.time
                 )
@@ -563,6 +568,8 @@ class CloudActor:
                 self.transport.send_model(
                     scheduler, actor, update, job.result.model_state, event.time
                 )
+        if served_labeling:
+            self.num_labeling_periods += 1
         self.scheduler.on_served(event.jobs, event.time)
         self._maybe_start_service(event.time, scheduler)
 
@@ -961,13 +968,12 @@ class EdgeActor:
             util_trace[:] = 0.05  # the edge only forwards frames
             return fps_trace, util_trace
 
+        busy_fps = min(video_fps, self.edge_compute.fps_while_training)
+        idle_fps = min(video_fps, self.edge_compute.max_fps)
+        overlap = self._training_overlap_trace(seconds)
+        fps_trace[:] = overlap * busy_fps + (1 - overlap) * idle_fps
         for second in range(seconds):
-            midpoint = second + 0.5
-            window_overlap = self._training_overlap(second)
-            busy_fps = min(video_fps, self.edge_compute.fps_while_training)
-            idle_fps = min(video_fps, self.edge_compute.max_fps)
-            fps_trace[second] = window_overlap * busy_fps + (1 - window_overlap) * idle_fps
-            util_trace[second] = self.edge.utilization_at(midpoint, video_fps)
+            util_trace[second] = self.edge.utilization_at(second + 0.5, video_fps)
         return fps_trace, util_trace
 
     def _training_overlap(self, second: int) -> float:
@@ -977,6 +983,22 @@ class EdgeActor:
         for window in self.edge.training_windows:
             overlap += max(0.0, min(end, window.end) - max(start, window.start))
         return min(1.0, overlap)
+
+    def _training_overlap_trace(self, seconds: int) -> np.ndarray:
+        """Per-second training-overlap fractions for all ``seconds`` at once.
+
+        Vectorised over seconds but accumulated window-by-window in the
+        same order as :meth:`_training_overlap`, so each element sees the
+        identical float additions (bit-for-bit with the scalar loop).
+        """
+        starts = np.arange(seconds, dtype=np.float64)
+        ends = starts + 1.0
+        overlap = np.zeros(seconds)
+        for window in self.edge.training_windows:
+            overlap += np.maximum(
+                0.0, np.minimum(ends, window.end) - np.maximum(starts, window.start)
+            )
+        return np.minimum(1.0, overlap)
 
     def _cloud_only_transfer_seconds(self, mean_motion: float, video_fps: float) -> float:
         """Per-frame network time for the Cloud-Only strategy.
@@ -1022,6 +1044,20 @@ class SessionKernel:
         self.transport = transport
         self.streams = streams
         self.autoscaler = autoscaler
+        # exact-type dispatch table: one dict lookup per event instead of
+        # an isinstance chain (the chain cost ~7 checks for the rarest
+        # event types, millions of times per fleet run); subclasses fall
+        # back to _resolve_handler once and are then cached by type
+        self._handlers: dict[type, Callable[[Event], None]] = {
+            FrameArrival: self._handle_frame,
+            UploadComplete: self._handle_upload,
+            LabelingDone: self._handle_labeling_done,
+            LabelsReady: self._handle_labels,
+            ModelDownloadComplete: self._handle_model_download,
+            TrainingDone: self._handle_training_done,
+            AutoscaleTick: self._handle_autoscale,
+            RevocationEvent: self._handle_revocation,
+        }
 
     def _schedule_next_frame(self, camera_id: int) -> None:
         frame = next(self.streams[camera_id], None)
@@ -1036,46 +1072,65 @@ class SessionKernel:
         The single-camera facade passes the last frame's timestamp as the
         horizon so that e.g. a model download still in flight when the
         stream ends is discarded — exactly what the monolithic loop did.
+        The drive loop itself is :meth:`EventScheduler.run`, whose fused
+        pop dispatches each event with a single heap traversal.
         """
         for camera_id in self.edge_actors:
             self._schedule_next_frame(camera_id)
-        while True:
-            event = self.scheduler.pop()
-            if event is None:
-                return
-            if horizon is not None and event.time > horizon + 1e-9:
-                return  # heap is time-ordered: everything left is later still
-            self.dispatch(event)
+        until = None if horizon is None else horizon + 1e-9
+        self.scheduler.run(self.dispatch, until=until)
 
     def dispatch(self, event: Event) -> None:
         """Route one popped event to the actor (or controller) that handles it."""
-        scheduler = self.scheduler
-        if isinstance(event, FrameArrival):
-            self.edge_actors[event.camera_id].on_frame(event.frame, event.time, scheduler)
-            self._schedule_next_frame(event.camera_id)
-        elif isinstance(event, UploadComplete):
-            self.transport.uplink_delivered(scheduler, event.time)
-            self.cloud_actor.on_upload(event, scheduler)
-        elif isinstance(event, LabelingDone):
-            self.cloud_actor.on_labeling_done(event, scheduler)
-        elif isinstance(event, LabelsReady):
-            self.transport.downlink_delivered(scheduler, event.time)
-            self.edge_actors[event.camera_id].on_labels(event.response, event.time, scheduler)
-        elif isinstance(event, ModelDownloadComplete):
-            self.transport.downlink_delivered(scheduler, event.time)
-            self.edge_actors[event.camera_id].on_model_download(event)
-        elif isinstance(event, TrainingDone):
-            self.edge_actors[event.camera_id].on_training_done(event)
-        elif isinstance(event, AutoscaleTick):
-            if self.autoscaler is None:
-                raise TypeError(
-                    "AutoscaleTick scheduled but no autoscale controller "
-                    "is attached to this kernel"
-                )
-            self.autoscaler.on_tick(event, scheduler)
-        elif isinstance(event, RevocationEvent):
-            # only clusters with a revocation process schedule these;
-            # the cluster routes the kill to the tagged worker
-            self.cloud_actor.on_revocation(event, scheduler)
-        else:  # pragma: no cover - defensive
-            raise TypeError(f"unroutable event: {event!r}")
+        handler = self._handlers.get(type(event))
+        if handler is None:
+            handler = self._resolve_handler(event)
+        handler(event)
+
+    def _resolve_handler(self, event: Event) -> "Callable[[Event], None]":
+        """isinstance fallback for Event subclasses; caches the concrete type."""
+        for event_type, handler in list(self._handlers.items()):
+            if isinstance(event, event_type):
+                self._handlers[type(event)] = handler
+                return handler
+        raise TypeError(f"unroutable event: {event!r}")
+
+    # -- per-type handlers ---------------------------------------------------
+    def _handle_frame(self, event: FrameArrival) -> None:
+        self.edge_actors[event.camera_id].on_frame(
+            event.frame, event.time, self.scheduler
+        )
+        self._schedule_next_frame(event.camera_id)
+
+    def _handle_upload(self, event: UploadComplete) -> None:
+        self.transport.uplink_delivered(self.scheduler, event.time)
+        self.cloud_actor.on_upload(event, self.scheduler)
+
+    def _handle_labeling_done(self, event: LabelingDone) -> None:
+        self.cloud_actor.on_labeling_done(event, self.scheduler)
+
+    def _handle_labels(self, event: LabelsReady) -> None:
+        self.transport.downlink_delivered(self.scheduler, event.time)
+        self.edge_actors[event.camera_id].on_labels(
+            event.response, event.time, self.scheduler
+        )
+
+    def _handle_model_download(self, event: ModelDownloadComplete) -> None:
+        self.transport.downlink_delivered(self.scheduler, event.time)
+        self.edge_actors[event.camera_id].on_model_download(event)
+
+    def _handle_training_done(self, event: TrainingDone) -> None:
+        self.edge_actors[event.camera_id].on_training_done(event)
+
+    def _handle_autoscale(self, event: AutoscaleTick) -> None:
+        if self.autoscaler is None:
+            raise TypeError(
+                "AutoscaleTick scheduled but no autoscale controller "
+                "is attached to this kernel"
+            )
+        self.autoscaler.on_tick(event, self.scheduler)
+
+    def _handle_revocation(self, event: RevocationEvent) -> None:
+        # only clusters with a revocation process schedule these;
+        # the cluster routes the kill to the tagged worker
+        self.cloud_actor.on_revocation(event, self.scheduler)

@@ -924,10 +924,13 @@ class CloudCluster:
 
     @property
     def num_labeling_batches(self) -> int:
-        """GPU busy periods that served at least one labeling job."""
-        starts = {
-            (job.worker_id, job.service_start)
-            for worker in self.workers
-            for job in worker.completed_jobs
-        }
-        return len(starts)
+        """GPU busy periods that served at least one labeling job.
+
+        Each worker counts its completed labeling periods as they finish
+        (an O(1) increment per busy period), so this is a sum over
+        workers rather than a re-scan of every completed job: jobs in
+        one busy period share their ``(worker_id, service_start)``, and
+        distinct periods never share one because every period's
+        wall-clock length is positive (batch overhead).
+        """
+        return sum(worker.num_labeling_periods for worker in self.workers)

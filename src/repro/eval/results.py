@@ -1,8 +1,19 @@
-"""Result records and plain-text table formatting for experiments."""
+"""Result records, plain-text tables and BENCH trajectory files.
+
+Besides the per-experiment result records and table formatting, this
+module owns the machine-readable benchmark trajectory format: a
+``BENCH_*.json`` file is ``{"runs": [...]}`` where each run is a flat
+dictionary stamped by the benchmark that produced it (configs measured,
+events/sec, peak RSS, ...).  Benchmarks append one run per invocation
+via :func:`append_bench_run`, so the file accumulates a perf curve
+across commits that CI can upload as an artifact.
+"""
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
@@ -17,7 +28,43 @@ __all__ = [
     "format_table",
     "format_comparison_table",
     "format_dollars",
+    "load_bench_trajectory",
+    "append_bench_run",
 ]
+
+
+def load_bench_trajectory(path: str | Path) -> dict:
+    """Load a ``BENCH_*.json`` trajectory, or an empty one if absent/corrupt.
+
+    A corrupt file (interrupted write, merge damage) degrades to an
+    empty trajectory rather than failing the benchmark that wants to
+    append to it — the trajectory is telemetry, not a gate.
+    """
+    path = Path(path)
+    if not path.exists():
+        return {"runs": []}
+    try:
+        data = json.loads(path.read_text())
+    except (json.JSONDecodeError, OSError):
+        return {"runs": []}
+    if not isinstance(data, dict) or not isinstance(data.get("runs"), list):
+        return {"runs": []}
+    return data
+
+
+def append_bench_run(path: str | Path, run: dict, keep_last: int = 200) -> dict:
+    """Append one benchmark run to a ``BENCH_*.json`` trajectory file.
+
+    Returns the trajectory that was written.  ``keep_last`` bounds the
+    file (oldest runs are dropped first) so a long-lived repo never
+    accumulates an unbounded artifact.
+    """
+    path = Path(path)
+    trajectory = load_bench_trajectory(path)
+    trajectory["runs"].append(run)
+    trajectory["runs"] = trajectory["runs"][-keep_last:]
+    path.write_text(json.dumps(trajectory, indent=2, sort_keys=True) + "\n")
+    return trajectory
 
 
 def format_dollars(value: float) -> str:

@@ -24,12 +24,31 @@ Events can be cancelled after scheduling (lazy deletion), which the
 processor-sharing :class:`~repro.network.link.SharedLink` relies on to
 re-project transfer completion times whenever the set of concurrent
 transfers changes.
+
+The kernel is the hot path of every fleet-scale run (10k cameras push
+millions of events through it — see ``docs/performance.md`` and
+``benchmarks/bench_kernel_throughput.py``), so the scheduler is built
+for raw dispatch throughput:
+
+* all event classes are ``slots=True`` dataclasses — the hottest
+  allocations in a run carry no per-instance ``__dict__``;
+* ``__len__`` / ``__bool__`` are O(1): a live-event counter is
+  maintained on schedule/cancel/pop instead of scanning the heap (the
+  pre-optimisation scan made any per-iteration backlog probe quadratic
+  in fleet size);
+* :meth:`EventScheduler.run` pops each dispatched entry from the heap
+  exactly once (no peek-then-pop double traversal of the cancelled
+  prefix);
+* lazily-cancelled entries are purged by threshold-triggered heap
+  compaction once they outnumber the live ones, so cancel-heavy
+  workloads (the :class:`~repro.network.link.SharedLink` re-projection
+  cancels an event per concurrent-transfer change) cannot grow the
+  heap — or peak RSS — without bound.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, ClassVar, Iterator
 
@@ -49,7 +68,7 @@ __all__ = [
 ]
 
 
-@dataclass
+@dataclass(slots=True)
 class Event:
     """Base class for everything the kernel schedules.
 
@@ -57,21 +76,36 @@ class Event:
     simulated time: lower values pop first.  ``camera_id`` routes the
     event to the right edge actor in fleet sessions (single-camera
     sessions use camera 0 throughout).
+
+    Instances are ``slots=True`` dataclasses: event allocation is the
+    hottest allocation site of a fleet run, and dropping the
+    per-instance ``__dict__`` measurably cuts both time and peak RSS
+    (see ``docs/performance.md``).
     """
 
     time: float
     camera_id: int = 0
     cancelled: bool = field(default=False, compare=False)
+    #: True while a scheduler holds a queued heap entry for this event;
+    #: lets :meth:`EventScheduler.cancel` keep its live-event counter
+    #: exact even when an already-delivered event is cancelled late
+    _queued: bool = field(default=False, init=False, repr=False, compare=False)
 
     #: tie-break class at equal time; lower pops first
     priority: ClassVar[int] = 5
 
     def cancel(self) -> None:
-        """Mark the event dead; the scheduler skips it on pop."""
+        """Mark the event dead; the scheduler skips it on pop.
+
+        Prefer :meth:`EventScheduler.cancel`, which also maintains the
+        scheduler's O(1) live-event counter and may trigger heap
+        compaction; calling this directly still prevents dispatch but
+        leaves the counters to be reconciled lazily.
+        """
         self.cancelled = True
 
 
-@dataclass
+@dataclass(slots=True)
 class ModelDownloadComplete(Event):
     """A streamed student-model update finished downloading (AMS).
 
@@ -84,7 +118,7 @@ class ModelDownloadComplete(Event):
     priority: ClassVar[int] = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class UploadComplete(Event):
     """A sampled-frame batch finished crossing the uplink."""
 
@@ -97,7 +131,7 @@ class UploadComplete(Event):
     priority: ClassVar[int] = 1
 
 
-@dataclass
+@dataclass(slots=True)
 class LabelingDone(Event):
     """A cloud GPU finished a (possibly multi-tenant) busy period.
 
@@ -117,7 +151,7 @@ class LabelingDone(Event):
     priority: ClassVar[int] = 1
 
 
-@dataclass
+@dataclass(slots=True)
 class LabelsReady(Event):
     """Teacher pseudo-labels (and the new sampling rate) reached the edge."""
 
@@ -126,7 +160,7 @@ class LabelsReady(Event):
     priority: ClassVar[int] = 2
 
 
-@dataclass
+@dataclass(slots=True)
 class TrainingDone(Event):
     """An adaptive-training session released the device/GPU."""
 
@@ -135,7 +169,7 @@ class TrainingDone(Event):
     priority: ClassVar[int] = 3
 
 
-@dataclass
+@dataclass(slots=True)
 class RevocationEvent(Event):
     """A preemptible (spot) GPU worker's capacity is revoked right now.
 
@@ -156,7 +190,7 @@ class RevocationEvent(Event):
     priority: ClassVar[int] = 2
 
 
-@dataclass
+@dataclass(slots=True)
 class AutoscaleTick(Event):
     """Periodic sampling point for the elastic cloud autoscaler.
 
@@ -172,7 +206,7 @@ class AutoscaleTick(Event):
     priority: ClassVar[int] = 3
 
 
-@dataclass
+@dataclass(slots=True)
 class FrameArrival(Event):
     """The next frame of a camera's stream is due for processing.
 
@@ -187,12 +221,34 @@ class FrameArrival(Event):
 
 
 class EventScheduler:
-    """Heap-based future-event list driving a :class:`SimulationClock`."""
+    """Heap-based future-event list driving a :class:`SimulationClock`.
+
+    Counter invariants (all O(1) to read):
+
+    * ``len(scheduler)`` — live (non-cancelled) queued events;
+    * ``scheduler.heap_entries`` — raw heap entries, including
+      lazily-cancelled garbage not yet purged;
+    * cancelled entries are purged eagerly at the heap top on
+      peek/pop/run, and in bulk by :meth:`_compact` once they exceed
+      half the heap (and the heap is at least ``COMPACTION_MIN_HEAP``
+      entries), so garbage from cancel-heavy workloads is bounded to
+      ~50% of the live set.
+    """
+
+    #: heaps smaller than this are never compacted — a rebuild would
+    #: cost more than the garbage it reclaims
+    COMPACTION_MIN_HEAP = 64
 
     def __init__(self, clock: SimulationClock | None = None) -> None:
         self.clock = clock or SimulationClock()
         self._heap: list[tuple[float, int, int, Event]] = []
-        self._sequence = itertools.count()
+        #: plain int FIFO tie-breaker (an ``itertools.count`` costs a
+        #: call per schedule on the hottest path)
+        self._sequence = 0
+        #: live (queued, non-cancelled) events — the O(1) ``__len__``
+        self._num_live = 0
+        #: cancelled entries still occupying heap slots
+        self._num_dead = 0
         self.num_scheduled = 0
         self.num_dispatched = 0
 
@@ -202,44 +258,115 @@ class EventScheduler:
         """Current simulated time (the time of the last popped event)."""
         return self.clock.now
 
+    @property
+    def heap_entries(self) -> int:
+        """Raw heap size including lazily-cancelled garbage (diagnostics)."""
+        return len(self._heap)
+
     def __len__(self) -> int:
-        """Live (non-cancelled) events still queued."""
-        return sum(1 for entry in self._heap if not entry[3].cancelled)
+        """Live (non-cancelled) events still queued — O(1)."""
+        return self._num_live
 
     def __bool__(self) -> bool:
-        return any(not entry[3].cancelled for entry in self._heap)
+        return self._num_live > 0
 
     # -- scheduling ----------------------------------------------------------
     def schedule(self, event: Event) -> Event:
         """Queue an event; returns it so callers can keep a cancel handle."""
-        if event.time < self.clock.now - 1e-9:
+        time = event.time
+        clock = self.clock
+        if time < clock._now - 1e-9:
             raise ValueError(
-                f"cannot schedule event at {event.time} before current time "
-                f"{self.clock.now}"
+                f"cannot schedule event at {time} before current time "
+                f"{clock._now}"
             )
-        heapq.heappush(
-            self._heap, (event.time, event.priority, next(self._sequence), event)
-        )
+        sequence = self._sequence
+        self._sequence = sequence + 1
+        heapq.heappush(self._heap, (time, event.priority, sequence, event))
+        event._queued = True
+        self._num_live += 1
         self.num_scheduled += 1
         return event
 
     def cancel(self, event: Event) -> None:
-        """Lazily remove a queued event (no-op if already popped)."""
-        event.cancel()
+        """Lazily remove a queued event (no-op if already popped).
+
+        Maintains the O(1) live counter and, once cancelled garbage
+        outgrows the live set, compacts the heap so cancel-heavy
+        workloads (shared-link re-projection) keep bounded memory.
+        """
+        if event._queued and not event.cancelled:
+            event.cancelled = True
+            # _queued False marks the entry as *counted* dead, so the
+            # discard paths know its counters were already adjusted
+            # (unlike a bare Event.cancel(), which only flips the flag)
+            event._queued = False
+            self._num_live -= 1
+            self._num_dead += 1
+            heap = self._heap
+            if self._num_dead > (len(heap) >> 1) and len(heap) >= self.COMPACTION_MIN_HEAP:
+                self._compact()
+        else:
+            # already delivered (or already cancelled): keep the flag
+            # semantics of the pre-counter scheduler
+            event.cancelled = True
+
+    def _discard_dead(self, event: Event) -> None:
+        """Account for a cancelled entry leaving the heap.
+
+        Entries cancelled through :meth:`cancel` were already moved from
+        the live to the dead counter; entries cancelled by a bare
+        :meth:`Event.cancel` flag flip were not, so they leave the live
+        count only now.
+        """
+        if event._queued:
+            event._queued = False
+            self._num_live -= 1
+        else:
+            self._num_dead -= 1
+
+    def _compact(self) -> None:
+        """Purge every cancelled entry and re-heapify in place.
+
+        In-place (slice assignment) so a :meth:`run` loop holding a
+        reference to the heap list keeps seeing the live structure.
+        Entries keep their (time, priority, sequence) keys, so relative
+        order — including FIFO ties — is untouched, and cancel handles
+        stay valid because cancellation is a flag on the event, not a
+        heap position.
+        """
+        heap = self._heap
+        live_entries = []
+        for entry in heap:
+            event = entry[3]
+            if event.cancelled:
+                if event._queued:  # bare-flag cancel: uncounted until now
+                    event._queued = False
+                    self._num_live -= 1
+                continue
+            live_entries.append(entry)
+        heap[:] = live_entries
+        heapq.heapify(heap)
+        self._num_dead = 0
 
     # -- dispatch ------------------------------------------------------------
     def peek(self) -> Event | None:
         """The next live event without popping it (or None when drained)."""
-        while self._heap and self._heap[0][3].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0][3] if self._heap else None
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            self._discard_dead(heapq.heappop(heap)[3])
+        return heap[0][3] if heap else None
 
     def pop(self) -> Event | None:
         """Pop the next live event, advancing the clock to its time."""
-        while self._heap:
-            event = heapq.heappop(self._heap)[3]
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)[3]
             if event.cancelled:
+                self._discard_dead(event)
                 continue
+            event._queued = False
+            self._num_live -= 1
             self.clock.advance_to(event.time)
             self.num_dispatched += 1
             return event
@@ -256,13 +383,52 @@ class EventScheduler:
     def run(self, handler: Callable[[Event], None], until: float | None = None) -> int:
         """Dispatch events through ``handler`` until drained (or ``until``).
 
-        Returns the number of events dispatched.  ``handler`` may schedule
-        further events; they are interleaved in time order as usual.
+        Returns the number of events dispatched.  ``handler`` may
+        schedule further events; they are interleaved in time order as
+        usual.  Events strictly after ``until`` stay queued.
+
+        This is the kernel's innermost loop: each dispatched entry is
+        popped from the heap exactly once (the pre-optimisation
+        peek-then-pop walked the cancelled prefix twice per event), the
+        heap/clock lookups are hoisted out of the loop, and the clock
+        advances through a direct store rather than a method call.
         """
+        heap = self._heap
+        heappop = heapq.heappop
+        clock = self.clock
         dispatched = 0
-        while True:
-            nxt = self.peek()
-            if nxt is None or (until is not None and nxt.time > until):
-                return dispatched
-            handler(self.pop())
-            dispatched += 1
+        if until is None:
+            while heap:
+                entry = heappop(heap)
+                event = entry[3]
+                if event.cancelled:
+                    self._discard_dead(event)
+                    continue
+                event._queued = False
+                self._num_live -= 1
+                time = entry[0]
+                if time > clock._now:
+                    clock._now = time
+                dispatched += 1
+                self.num_dispatched += 1
+                handler(event)
+        else:
+            while heap:
+                entry = heappop(heap)
+                event = entry[3]
+                if event.cancelled:
+                    self._discard_dead(event)
+                    continue
+                time = entry[0]
+                if time > until:
+                    # beyond the horizon: put the entry back untouched
+                    heapq.heappush(heap, entry)
+                    break
+                event._queued = False
+                self._num_live -= 1
+                if time > clock._now:
+                    clock._now = time
+                dispatched += 1
+                self.num_dispatched += 1
+                handler(event)
+        return dispatched

@@ -15,6 +15,12 @@ def reduce_metric(values, reducer=np.mean, default: float = 0.0) -> float:
     no uploads happened, nothing queued — reduces to ``default`` instead
     of tripping numpy's empty-slice warnings.
     """
+    if isinstance(values, np.ndarray):
+        # fleet hot path: callers that already hold an array (e.g. a
+        # FleetResult's cached queue-wait vector) skip the list copy
+        if values.size == 0:
+            return float(default)
+        return float(reducer(values))
     seq = list(values)
     if not seq:
         return float(default)

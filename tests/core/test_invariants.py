@@ -32,6 +32,7 @@ from repro.core.autoscaling import SloScaler, StepScaler
 from repro.core.cluster import REVOCATION_MODES, RevocationProcess
 from repro.core.scheduling import PLACEMENTS, SCHEDULERS, WORKER_TIERS
 from repro.detection import StudentConfig, StudentDetector, TeacherConfig, TeacherDetector
+from repro.runtime.events import Event, EventScheduler
 from repro.video import build_dataset
 
 from test_scheduling import small_config
@@ -137,6 +138,54 @@ def describe(config: dict) -> str:
         f"mix={mix} autoscaler={scaler} revocations={revoker} "
         f"mode={config['revocation_mode']} cams={config['n_cameras']}"
     )
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_kernel_conservation_under_churn(seed):
+    """Seeded event-kernel stress alongside the fleet invariants.
+
+    Random schedule/cancel/pop interleavings must conserve events
+    (scheduled == dispatched + cancelled, nothing lost or duplicated),
+    keep the O(1) live counter exact at every step, and keep cancelled
+    heap garbage bounded by the compaction threshold.
+    """
+    rng = np.random.default_rng(2000 + seed)
+    scheduler = EventScheduler()
+    live: list[Event] = []
+    cancelled = 0
+    dispatched = 0
+    for _ in range(5000):
+        roll = rng.random()
+        if roll < 0.5 or not live:
+            live.append(
+                scheduler.schedule(
+                    Event(time=scheduler.now + float(rng.uniform(0.0, 5.0)))
+                )
+            )
+        elif roll < 0.8:
+            victim = live.pop(int(rng.integers(len(live))))
+            scheduler.cancel(victim)
+            cancelled += 1
+            # right after a cancel, garbage is bounded: either the heap
+            # is below the compaction floor, or dead entries are <= half
+            garbage = scheduler.heap_entries - len(scheduler)
+            assert (
+                scheduler.heap_entries < EventScheduler.COMPACTION_MIN_HEAP
+                or garbage <= scheduler.heap_entries // 2
+            ), f"seed {seed}: {garbage} dead of {scheduler.heap_entries} entries"
+        else:
+            popped = scheduler.pop()
+            assert popped is not None and not popped.cancelled
+            live.remove(popped)
+            dispatched += 1
+        assert len(scheduler) == len(live), "live counter drifted from reality"
+    dispatched += sum(1 for _ in scheduler)
+    assert scheduler.num_scheduled == dispatched + cancelled, (
+        f"seed {seed}: {scheduler.num_scheduled} scheduled but "
+        f"{dispatched} dispatched + {cancelled} cancelled"
+    )
+    assert scheduler.num_dispatched == dispatched
+    assert len(scheduler) == 0 and scheduler.heap_entries == 0
 
 
 @pytest.mark.parametrize("seed", range(NUM_CONFIGS))

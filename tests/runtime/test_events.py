@@ -1,7 +1,17 @@
-"""Event kernel tests: ordering, tie-breaking, cancellation, dispatch."""
+"""Event kernel tests: ordering, tie-breaking, cancellation, dispatch.
+
+Also the perf-regression pins for the optimised kernel: the O(1)
+live-event counter behind ``len()``/``bool()``, threshold-triggered
+compaction of lazily-cancelled heap entries, and a seeded stress that
+replays random schedule/cancel/pop interleavings against a brute-force
+reference model.
+"""
 
 from __future__ import annotations
 
+import time
+
+import numpy as np
 import pytest
 
 from repro.runtime.clock import SimulationClock
@@ -123,3 +133,172 @@ class TestSchedulerAPI:
         scheduler.schedule(Event(time=2.0))
         scheduler.pop()
         assert clock.now == 2.0
+
+
+class TestLiveCounter:
+    """The O(1) live-event counter behind ``len()`` and ``bool()``."""
+
+    def test_counter_tracks_schedule_cancel_pop(self):
+        scheduler = EventScheduler()
+        events = [scheduler.schedule(Event(time=float(i + 1))) for i in range(10)]
+        assert len(scheduler) == 10
+        scheduler.cancel(events[3])
+        scheduler.cancel(events[3])  # double-cancel must not double-count
+        assert len(scheduler) == 9
+        scheduler.pop()
+        assert len(scheduler) == 8
+
+    def test_counter_converges_after_bare_flag_cancel(self):
+        # Event.cancel() flips only the flag; the counter settles when
+        # the dead entry is traversed (pop or compaction) and the queue
+        # still delivers exactly the live events
+        scheduler = EventScheduler()
+        events = [scheduler.schedule(Event(time=float(i + 1))) for i in range(10)]
+        events[5].cancel()
+        drained = list(scheduler)
+        assert events[5] not in drained
+        assert len(drained) == 9
+        assert len(scheduler) == 0 and not scheduler
+
+    def test_cancelling_delivered_event_does_not_corrupt_counter(self):
+        # the InstantTransport pattern: a stale cancel handle may point
+        # at an event that was already popped
+        scheduler = EventScheduler()
+        first = scheduler.schedule(Event(time=1.0))
+        scheduler.schedule(Event(time=2.0))
+        assert scheduler.pop() is first
+        scheduler.cancel(first)  # no-op for the counter: already delivered
+        assert len(scheduler) == 1
+        scheduler.cancel(first)
+        assert len(scheduler) == 1
+
+    def test_len_is_cheap_and_correct_at_100k_events(self):
+        """Regression pin for the old O(heap) ``__len__`` scan."""
+        scheduler = EventScheduler()
+        events = [
+            scheduler.schedule(Event(time=float(i % 977) + 1.0))
+            for i in range(100_000)
+        ]
+        for event in events[::2]:
+            scheduler.cancel(event)
+        # correctness: the counter agrees with a brute-force heap scan
+        brute = sum(1 for entry in scheduler._heap if not entry[3].cancelled)
+        assert len(scheduler) == brute == 50_000
+        # cheapness: 10k backlog queries on a 50k-live queue stay well
+        # under the old implementation's multi-second scan cost
+        start = time.perf_counter()
+        total = 0
+        for _ in range(10_000):
+            total += len(scheduler)
+        elapsed = time.perf_counter() - start
+        assert total == 10_000 * 50_000
+        assert elapsed < 0.5, f"len() is no longer O(1): {elapsed:.3f}s"
+
+
+class TestHeapCompaction:
+    """Threshold-triggered purge of lazily-cancelled heap entries."""
+
+    def test_compaction_purges_majority_dead_heap(self):
+        scheduler = EventScheduler()
+        events = [scheduler.schedule(Event(time=float(i + 1))) for i in range(100)]
+        for event in events[:60]:
+            scheduler.cancel(event)
+        # >50% of entries were dead, so the heap physically shrank
+        assert scheduler.heap_entries < 100
+        assert len(scheduler) == 40
+        assert [event.time for event in scheduler] == [
+            float(i + 1) for i in range(60, 100)
+        ]
+
+    def test_small_heaps_are_not_compacted(self):
+        scheduler = EventScheduler()
+        events = [scheduler.schedule(Event(time=float(i + 1))) for i in range(10)]
+        for event in events:
+            scheduler.cancel(event)
+        # below the compaction floor the dead entries stay until popped
+        assert scheduler.heap_entries == 10
+        assert len(scheduler) == 0 and not scheduler
+
+    def test_ordering_survives_compaction(self):
+        """Time, priority class and FIFO ties all survive the rebuild."""
+        scheduler = EventScheduler()
+        keep = []
+        drop = []
+        for i in range(40):
+            at = float(i // 4)  # bursts of ties at the same instant
+            keep.append(scheduler.schedule(FrameArrival(time=at, camera_id=i)))
+            keep.append(scheduler.schedule(ModelDownloadComplete(time=at, camera_id=i)))
+            drop.append(scheduler.schedule(Event(time=at, camera_id=i)))
+            drop.append(scheduler.schedule(UploadComplete(time=at, camera_id=i)))
+            drop.append(scheduler.schedule(LabelsReady(time=at, camera_id=i)))
+            drop.append(scheduler.schedule(TrainingDone(time=at, camera_id=i)))
+        for event in drop:  # a strict majority: compaction must trigger
+            scheduler.cancel(event)
+        assert scheduler.heap_entries < len(keep) + len(drop)
+        # reference order: time, then priority class, then scheduling FIFO
+        expected = sorted(
+            keep, key=lambda e: (e.time, e.priority, keep.index(e))
+        )
+        assert list(scheduler) == expected
+
+    def test_cancel_handles_stay_valid_after_compaction(self):
+        scheduler = EventScheduler()
+        keep = [scheduler.schedule(Event(time=float(3 * i))) for i in range(60)]
+        drop = [scheduler.schedule(Event(time=float(3 * i + 1))) for i in range(140)]
+        for event in drop:
+            scheduler.cancel(event)  # majority dead: triggers compaction
+        assert scheduler.heap_entries < 200
+        # a handle to a surviving event still cancels it cleanly
+        scheduler.cancel(keep[10])
+        times = [event.time for event in scheduler]
+        assert keep[10].time not in times
+        assert times == sorted(times)
+        assert len(times) == 59
+
+
+class TestSeededKernelStress:
+    """Random schedule/cancel/pop interleavings vs a brute-force model."""
+
+    EVENT_CLASSES = [
+        Event,
+        FrameArrival,
+        UploadComplete,
+        LabelsReady,
+        ModelDownloadComplete,
+        TrainingDone,
+    ]
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_reference_model(self, seed):
+        rng = np.random.default_rng(seed)
+        scheduler = EventScheduler()
+        live: list[Event] = []
+        seq_of: dict[int, int] = {}
+        next_seq = 0
+
+        def key(event: Event) -> tuple:
+            return (event.time, event.priority, seq_of[id(event)])
+
+        for _ in range(3000):
+            choice = rng.random()
+            if choice < 0.55 or not live:
+                at = scheduler.now + float(rng.uniform(0.0, 10.0))
+                cls = self.EVENT_CLASSES[int(rng.integers(len(self.EVENT_CLASSES)))]
+                event = scheduler.schedule(cls(time=at))
+                seq_of[id(event)] = next_seq
+                next_seq += 1
+                live.append(event)
+            elif choice < 0.85:
+                victim = live.pop(int(rng.integers(len(live))))
+                scheduler.cancel(victim)
+            else:
+                expected = min(live, key=key)
+                popped = scheduler.pop()
+                assert popped is expected, (
+                    f"seed {seed}: popped {popped!r}, expected {expected!r}"
+                )
+                live.remove(expected)
+            assert len(scheduler) == len(live)
+        # drain: the remaining order matches the reference sort exactly
+        assert list(scheduler) == sorted(live, key=key)
+        assert len(scheduler) == 0
