@@ -78,6 +78,15 @@ from repro.core.cluster import (
     RevocationRecord,
     REVOCATION_MODES,
 )
+from repro.core.faults import (
+    CrashRecord,
+    FaultPlan,
+    FaultySharedLink,
+    ReliableChannel,
+    ReliableTransport,
+    CRASH_RECOVERY_MODES,
+    MESSAGE_KINDS,
+)
 from repro.core.autoscaling import (
     AutoscaleSignal,
     AutoscalePolicy,
@@ -152,6 +161,13 @@ __all__ = [
     "RevocationProcess",
     "RevocationRecord",
     "REVOCATION_MODES",
+    "CrashRecord",
+    "FaultPlan",
+    "FaultySharedLink",
+    "ReliableChannel",
+    "ReliableTransport",
+    "CRASH_RECOVERY_MODES",
+    "MESSAGE_KINDS",
     "AutoscaleSignal",
     "AutoscalePolicy",
     "NoScaler",

@@ -74,9 +74,11 @@ from repro.runtime.events import (
     LabelingDone,
     LabelsReady,
     ModelDownloadComplete,
+    RetryTimer,
     RevocationEvent,
     TrainingDone,
     UploadComplete,
+    WorkerCrashEvent,
 )
 from repro.video.datasets import DatasetSpec
 from repro.video.encoding import H264Encoder
@@ -277,7 +279,14 @@ class SharedLinkTransport:
                 batch=batch,
                 alpha=alpha,
                 lambda_usage=lam,
-                sent_at=transfer.start_time,
+                # a retransmission stamps its first attempt's send time
+                # so latency statistics include the retry delay
+                sent_at=(
+                    transfer.start_time
+                    if transfer.sent_at is None
+                    else transfer.sent_at
+                ),
+                message_id=transfer.message_id,
             )
         )
         self._pending_up = (event, transfer)
@@ -294,12 +303,20 @@ class SharedLinkTransport:
         when = max(completion, now)
         if kind == "labels":
             event = scheduler.schedule(
-                LabelsReady(time=when, camera_id=transfer.camera_id, response=data)
+                LabelsReady(
+                    time=when,
+                    camera_id=transfer.camera_id,
+                    response=data,
+                    message_id=transfer.message_id,
+                )
             )
         else:  # "model"
             event = scheduler.schedule(
                 ModelDownloadComplete(
-                    time=when, camera_id=transfer.camera_id, model_state=data
+                    time=when,
+                    camera_id=transfer.camera_id,
+                    model_state=data,
+                    message_id=transfer.message_id,
                 )
             )
         self._pending_down = (event, transfer)
@@ -394,6 +411,10 @@ class CloudActor:
         #: set when this worker's spot capacity was revoked mid-run; a
         #: revoked worker is permanently retired (never restarts)
         self.revoked = False
+        #: set when an injected fault crashed this worker mid-handler;
+        #: the cluster supervisor restarts a *replacement* worker (new
+        #: id) whose tenant state is recovered from the shared registry
+        self.crashed = False
         self.queue: deque[GpuJob] = deque()
         #: handle on the busy period's scheduled completion, so a spot
         #: revocation can kill the period mid-flight (None while idle)
@@ -1032,18 +1053,27 @@ class SessionKernel:
         transport: InstantTransport | SharedLinkTransport,
         streams: dict[int, Iterator[Frame]],
         autoscaler: object | None = None,
+        channel: object | None = None,
+        journal: object | None = None,
     ) -> None:
         # ``cloud_actor`` may equally be a cluster
         # (:class:`~repro.core.cluster.CloudCluster`): anything exposing
         # the on_upload / on_labeling_done handlers routes here.
         # ``autoscaler`` is the fleet's AutoscaleController (None for
         # single-camera sessions, which never schedule ticks).
+        # ``channel`` is the fleet's ReliableChannel under a fault plan
+        # (None otherwise): tracked deliveries pass its idempotency gate
+        # before reaching their handler, and RetryTimer events route to
+        # it.  ``journal`` is an EventJournal (or replay cursor): every
+        # dispatched event is recorded before it is handled.
         self.scheduler = scheduler
         self.edge_actors = edge_actors
         self.cloud_actor = cloud_actor
         self.transport = transport
         self.streams = streams
         self.autoscaler = autoscaler
+        self.channel = channel
+        self._journal = journal
         # exact-type dispatch table: one dict lookup per event instead of
         # an isinstance chain (the chain cost ~7 checks for the rarest
         # event types, millions of times per fleet run); subclasses fall
@@ -1057,6 +1087,8 @@ class SessionKernel:
             TrainingDone: self._handle_training_done,
             AutoscaleTick: self._handle_autoscale,
             RevocationEvent: self._handle_revocation,
+            WorkerCrashEvent: self._handle_crash,
+            RetryTimer: self._handle_retry_timer,
         }
 
     def _schedule_next_frame(self, camera_id: int) -> None:
@@ -1082,6 +1114,8 @@ class SessionKernel:
 
     def dispatch(self, event: Event) -> None:
         """Route one popped event to the actor (or controller) that handles it."""
+        if self._journal is not None:
+            self._journal.record_event(event)
         handler = self._handlers.get(type(event))
         if handler is None:
             handler = self._resolve_handler(event)
@@ -1103,7 +1137,13 @@ class SessionKernel:
         self._schedule_next_frame(event.camera_id)
 
     def _handle_upload(self, event: UploadComplete) -> None:
+        # the transfer is retired (and the pipe re-projected) even when
+        # dedup drops the delivery: the duplicate's bits really crossed
         self.transport.uplink_delivered(self.scheduler, event.time)
+        if self.channel is not None and not self.channel.accept(
+            event.message_id, self.scheduler
+        ):
+            return
         self.cloud_actor.on_upload(event, self.scheduler)
 
     def _handle_labeling_done(self, event: LabelingDone) -> None:
@@ -1111,12 +1151,20 @@ class SessionKernel:
 
     def _handle_labels(self, event: LabelsReady) -> None:
         self.transport.downlink_delivered(self.scheduler, event.time)
+        if self.channel is not None and not self.channel.accept(
+            event.message_id, self.scheduler
+        ):
+            return
         self.edge_actors[event.camera_id].on_labels(
             event.response, event.time, self.scheduler
         )
 
     def _handle_model_download(self, event: ModelDownloadComplete) -> None:
         self.transport.downlink_delivered(self.scheduler, event.time)
+        if self.channel is not None and not self.channel.accept(
+            event.message_id, self.scheduler
+        ):
+            return
         self.edge_actors[event.camera_id].on_model_download(event)
 
     def _handle_training_done(self, event: TrainingDone) -> None:
@@ -1134,3 +1182,16 @@ class SessionKernel:
         # only clusters with a revocation process schedule these;
         # the cluster routes the kill to the tagged worker
         self.cloud_actor.on_revocation(event, self.scheduler)
+
+    def _handle_crash(self, event: WorkerCrashEvent) -> None:
+        # only clusters armed with a FaultPlan schedule these; the
+        # cluster supervisor kills the victim and restarts a replacement
+        self.cloud_actor.on_crash(event, self.scheduler)
+
+    def _handle_retry_timer(self, event: RetryTimer) -> None:
+        if self.channel is None:
+            raise TypeError(
+                "RetryTimer scheduled but no reliable channel is attached "
+                "to this kernel"
+            )
+        self.channel.on_timer(event, self.scheduler)

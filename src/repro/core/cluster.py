@@ -76,6 +76,7 @@ import numpy as np
 
 from repro.core.actors import CloudActor, InstantTransport, SharedLinkTransport
 from repro.core.cloud import CloudServer
+from repro.core.faults import CrashRecord, FaultPlan
 from repro.core.labeling import LabeledFrame
 from repro.core.sampling import SamplingRateController
 from repro.core.scheduling import (
@@ -91,6 +92,7 @@ from repro.runtime.events import (
     LabelingDone,
     RevocationEvent,
     UploadComplete,
+    WorkerCrashEvent,
 )
 
 __all__ = [
@@ -263,6 +265,14 @@ class CloudCluster:
         #: in-flight jobs recovered per mode, across all revocations
         self.num_relabeled_jobs = 0
         self.num_checkpoint_resumed_jobs = 0
+        #: injected worker crashes that hit, in time order
+        self.crash_log: list[CrashRecord] = []
+        #: jobs killed by crashes and re-placed (in-flight, either mode)
+        self.num_crash_recovered_jobs = 0
+        #: wall-clock GPU work crashes threw away (relabel recovery only)
+        self.crash_wasted_gpu_seconds = 0.0
+        #: the fault plan armed by :meth:`start_faults` (None = no faults)
+        self._fault_plan: FaultPlan | None = None
         #: the event scheduler of the running fleet (set by
         #: :meth:`start_revocations`; revocation draws need it)
         self._event_scheduler: EventScheduler | None = None
@@ -705,6 +715,11 @@ class CloudCluster:
         """Spot revocations that actually hit a provisioned worker."""
         return len(self.revocation_log)
 
+    @property
+    def num_crashes(self) -> int:
+        """Injected crashes that actually took down an active worker."""
+        return len(self.crash_log)
+
     # -- placement ------------------------------------------------------------
     def _worker_at(self, index: int) -> CloudActor:
         if not 0 <= index < len(self.workers):
@@ -836,6 +851,85 @@ class CloudCluster:
                 jobs_queued=len(handoff) - len(recovered),
                 wasted_gpu_seconds=wasted,
                 emergency_worker_id=None if emergency is None else emergency.worker_id,
+            )
+        )
+
+    def start_faults(
+        self, scheduler: EventScheduler, plan: FaultPlan, horizon: float
+    ) -> None:
+        """Arm a fault plan's crash process against the running kernel.
+
+        Called once per run (after :meth:`bind`, alongside
+        :meth:`start_revocations`): the plan draws its seeded Poisson
+        crash times over ``[0, horizon]`` and schedules one
+        :class:`~repro.runtime.events.WorkerCrashEvent` per draw.  The
+        victim is *not* chosen here — each event carries an opaque
+        ``victim_draw`` that :meth:`on_crash` reduces modulo the active
+        worker count at fire time, so the same plan stays meaningful as
+        the cluster autoscales.  No-op for plans without a crash rate.
+        """
+        self._fault_plan = plan
+        for time, draw in plan.draw_crash_times(horizon):
+            scheduler.schedule(WorkerCrashEvent(time=time, victim_draw=draw))
+
+    def on_crash(self, event: WorkerCrashEvent, scheduler: EventScheduler) -> None:
+        """A worker process died mid-handler: supervise and recover.
+
+        Unlike a spot revocation (capacity pulled by the provider), a
+        crash is a *fault* the control plane must mask:
+
+        * the victim — picked from the workers active at fire time, so
+          crashes never target already-drained capacity — stops
+          charging provisioned capacity at the crash instant;
+        * its in-flight busy period is killed
+          (:meth:`~repro.core.actors.CloudActor.preempt`) under the
+          plan's ``crash_recovery`` mode: ``"checkpoint"`` resumes the
+          interrupted jobs with their remaining service, ``"relabel"``
+          redoes them from scratch and counts the elapsed work as
+          ``crash_wasted_gpu_seconds`` (kept separate from the
+          revocation counters so faults-off invariants are untouched);
+        * the supervisor provisions a same-spec replacement *before*
+          re-placing the orphaned jobs, so recovery never funnels the
+          victim's whole backlog onto the survivors;
+        * queued jobs hand off through placement with no re-admission —
+          their uplink is already paid for.
+
+        A crash landing on an empty cluster (every worker already
+        draining) is dropped: there is no process left to kill.
+        """
+        if self._fault_plan is None:
+            raise RuntimeError("on_crash fired without an armed fault plan")
+        active = self.active_workers
+        if not active:
+            return
+        now = event.time
+        victim = active[event.victim_draw % len(active)]
+        victim.crashed = True
+        victim.draining = True
+        mode = self._fault_plan.crash_recovery
+        recovered, wasted = victim.preempt(now, scheduler, mode)
+        self.num_crash_recovered_jobs += len(recovered)
+        self.crash_wasted_gpu_seconds += wasted
+        handoff = recovered + list(victim.queue)
+        victim.queue = deque()
+        # capacity stops charging NOW; supersede any future voluntary
+        # drain stamp exactly as a revocation would
+        if victim.retired_at is not None:
+            self._provision_log.remove((victim.retired_at, -1))
+        victim.retired_at = now
+        self._provision_log.append((now, -1))
+        replacement = self.add_worker(now, spec=victim.spec)
+        for job in handoff:
+            self._place_handoff(job, now, scheduler)
+        self.crash_log.append(
+            CrashRecord(
+                time=now,
+                worker_id=victim.worker_id,
+                replacement_id=replacement.worker_id,
+                mode=mode,
+                jobs_in_flight=len(recovered),
+                jobs_queued=len(handoff) - len(recovered),
+                wasted_gpu_seconds=wasted,
             )
         )
 

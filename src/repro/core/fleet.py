@@ -50,6 +50,13 @@ from repro.core.cluster import (
 )
 from repro.core.config import ShoggothConfig
 from repro.core.edge import EdgeDevice
+from repro.core.faults import (
+    CrashRecord,
+    FaultPlan,
+    FaultySharedLink,
+    ReliableChannel,
+    ReliableTransport,
+)
 from repro.core.sampling import SamplingRateController
 from repro.core.scheduling import PlacementPolicy, WorkerSpec, jain_fairness
 from repro.core.session import SessionOptions, SessionResult, resolve_session_config
@@ -58,6 +65,7 @@ from repro.detection.student import StudentDetector
 from repro.detection.teacher import TeacherDetector
 from repro.network.link import LinkConfig, SharedLink
 from repro.runtime.device import CloudComputeModel, EdgeComputeModel
+from repro.runtime.journal import stable_digest
 from repro.runtime.metrics import reduce_metric
 from repro.runtime.events import EventScheduler
 from repro.video.datasets import DatasetSpec
@@ -174,6 +182,113 @@ class FleetResult:
     num_checkpoint_resumed_jobs: int = 0
     #: wall-clock GPU work thrown away by relabel-mode revocations
     wasted_gpu_seconds: float = 0.0
+    #: short description of the injected fault plan ("none" = fault-free)
+    fault_plan: str = "none"
+    #: injected worker crashes that hit, in time order (recovery details)
+    crash_records: list[CrashRecord] = field(default_factory=list)
+    #: in-flight jobs killed by crashes and re-placed on the replacement
+    num_crash_recovered_jobs: int = 0
+    #: wall-clock GPU work crashes threw away (relabel recovery only)
+    crash_wasted_gpu_seconds: float = 0.0
+    #: messages the faulty link dropped / cloned / slowed down
+    num_lost_messages: int = 0
+    num_duplicated_messages: int = 0
+    num_delayed_messages: int = 0
+    #: retransmissions the edge retry timers fired
+    num_retries: int = 0
+    #: duplicate deliveries the cloud's dedup layer swallowed
+    num_duplicate_drops: int = 0
+    #: deliveries that arrived after their message was abandoned
+    num_late_drops: int = 0
+    #: distinct reliable messages sent / acknowledged over the run
+    num_messages_sent: int = 0
+    num_messages_delivered: int = 0
+    #: messages still awaiting delivery when the run ended
+    num_messages_in_flight: int = 0
+    #: distinct messages sent / given up on, split by kind
+    #: ("upload"/"labels"/"model"); empty without a fault plan
+    sends_by_kind: dict[str, int] = field(default_factory=dict)
+    abandoned_by_kind: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def num_crashes(self) -> int:
+        """How many injected crashes took down an active worker."""
+        return len(self.crash_records)
+
+    @property
+    def num_abandoned_messages(self) -> int:
+        """Messages the edge gave up on after exhausting its retries."""
+        return sum(self.abandoned_by_kind.values())
+
+    @property
+    def num_abandoned_uploads(self) -> int:
+        """Frame-batch uploads lost for good (never labeled)."""
+        return self.abandoned_by_kind.get("upload", 0)
+
+    @property
+    def label_loss_fraction(self) -> float:
+        """Share of distinct uploads that never produced labels.
+
+        0.0 both when every upload made it and when no fault plan was
+        attached (check ``fault_plan`` to tell the two apart).
+        """
+        sent = self.sends_by_kind.get("upload", 0)
+        return self.num_abandoned_uploads / sent if sent > 0 else 0.0
+
+    def fingerprint(self) -> str:
+        """Order-stable digest of every exact metric in the result.
+
+        Two runs agree on this digest iff they agree on queue waits,
+        GPU accounting, placement/migration behaviour, fault counters
+        and per-camera outcomes — it is the journal's end-state check:
+        replaying a journal must land on the live run's fingerprint.
+        Only exact (event-driven) quantities participate; derived
+        reductions (percentiles, fairness indices) would add float noise
+        without adding discrimination.
+        """
+        payload = {
+            "queue_waits": list(self.queue_waits),
+            "training_waits": list(self.training_waits),
+            "cloud_gpu_seconds": self.cloud_gpu_seconds,
+            "cloud_busy_seconds": self.cloud_busy_seconds,
+            "duration_seconds": self.duration_seconds,
+            "num_labeling_batches": self.num_labeling_batches,
+            "gpu_seconds_by_camera": self.gpu_seconds_by_camera,
+            "gpu_busy_by_worker": list(self.gpu_busy_by_worker),
+            "migrations_by_camera": self.migrations_by_camera,
+            "gpu_seconds_provisioned": self.gpu_seconds_provisioned,
+            "dollar_cost": self.dollar_cost,
+            "gpu_seconds_by_tier": self.gpu_seconds_by_tier,
+            "num_scaling_events": len(self.scaling_events),
+            "num_revocations": self.num_revocations,
+            "wasted_gpu_seconds": self.wasted_gpu_seconds,
+            "fault_plan": self.fault_plan,
+            "num_crashes": self.num_crashes,
+            "num_crash_recovered_jobs": self.num_crash_recovered_jobs,
+            "crash_wasted_gpu_seconds": self.crash_wasted_gpu_seconds,
+            "num_lost_messages": self.num_lost_messages,
+            "num_duplicated_messages": self.num_duplicated_messages,
+            "num_delayed_messages": self.num_delayed_messages,
+            "num_retries": self.num_retries,
+            "num_duplicate_drops": self.num_duplicate_drops,
+            "num_late_drops": self.num_late_drops,
+            "num_messages_sent": self.num_messages_sent,
+            "num_messages_delivered": self.num_messages_delivered,
+            "num_messages_in_flight": self.num_messages_in_flight,
+            "sends_by_kind": self.sends_by_kind,
+            "abandoned_by_kind": self.abandoned_by_kind,
+            "cameras": [
+                {
+                    "camera": entry.camera,
+                    "gpu_seconds": entry.gpu_seconds,
+                    "rejected_uploads": entry.rejected_uploads,
+                    "upload_latencies": list(entry.upload_latencies),
+                    "num_uploads": entry.session.num_uploads,
+                }
+                for entry in self.cameras
+            ],
+        }
+        return stable_digest(payload, length=64)
 
     @property
     def num_revocations(self) -> int:
@@ -368,6 +483,15 @@ class FleetSession:
     :class:`~repro.core.cluster.RevocationProcess` that kills spot
     workers mid-run, and ``revocation_mode`` picks how interrupted jobs
     recover (``"relabel"`` from scratch or ``"checkpoint"`` resume).
+    ``faults`` attaches a seeded :class:`~repro.core.faults.FaultPlan`:
+    the shared link is wrapped to lose/duplicate/delay messages, the
+    edge retransmits with exponential backoff through a
+    :class:`~repro.core.faults.ReliableChannel` (the cloud dedups by
+    message id), and the plan's Poisson crash process kills workers
+    mid-handler with supervised recovery.  ``run(journal=...)`` records
+    the full event stream into an
+    :class:`~repro.runtime.journal.EventJournal` for byte-stable
+    determinism checks and exact replay.
     """
 
     def __init__(
@@ -390,6 +514,7 @@ class FleetSession:
         worker_specs: WorkerSpec | list[WorkerSpec] | None = None,
         revocations: RevocationProcess | None = None,
         revocation_mode: str = "relabel",
+        faults: FaultPlan | None = None,
     ) -> None:
         if not cameras:
             raise ValueError("a fleet needs at least one camera")
@@ -462,11 +587,34 @@ class FleetSession:
                 f"{self.autoscaler.min_gpus} GPUs but the cluster starts with "
                 f"{self.cluster.num_gpus}; set num_gpus >= min_gpus"
             )
+        if faults is not None and link is not None:
+            raise ValueError(
+                "pass either a ready link or a fault plan, not both: message "
+                "faults are injected by wrapping the link the session builds"
+            )
+        # crash recovery provisions same-spec replacements mid-run, which
+        # a cluster built around one ready GpuScheduler instance cannot
+        # mint; fail now, not at the first crash
+        if (
+            faults is not None
+            and faults.mean_time_between_crashes is not None
+            and not self.cluster.can_grow
+        ):
+            raise ValueError(
+                "a fault plan with crashes must be able to provision "
+                "replacement workers; construct the cluster with a scheduler "
+                "policy name or a zero-arg factory, not a single GpuScheduler "
+                "instance"
+            )
+        self.faults = faults
         self.cameras = list(cameras)
         self.student = student
         self.teacher = teacher
         self.config = config or ShoggothConfig()
-        self.link = link or SharedLink(link_config)
+        if faults is not None:
+            self.link = FaultySharedLink(link_config, faults)
+        else:
+            self.link = link or SharedLink(link_config)
         self.edge_compute = edge_compute or EdgeComputeModel()
         self.cloud_compute = cloud_compute or CloudComputeModel()
         self.replay_seed = replay_seed
@@ -528,17 +676,91 @@ class FleetSession:
         )
         return actor, stream
 
+    def _journal_meta(self) -> dict:
+        """The run's full configuration, as canonical-JSON-safe data.
+
+        Recorded as the journal header: replay refuses to start against
+        a session whose configuration differs, and two runs can only
+        produce byte-identical journals if they agree here first.
+        """
+        revocations = None
+        if self.cluster.revocations is not None:
+            process = self.cluster.revocations
+            revocations = {
+                "scripted": process.scripted,
+                "seed": process.seed,
+                "mean_uptime_seconds": process.mean_uptime_seconds,
+                "trace": [list(entry) for entry in process.trace],
+            }
+        return {
+            "kind": "fleet",
+            "cameras": [
+                {
+                    "name": spec.name,
+                    "dataset": spec.dataset.name,
+                    "frames": spec.dataset.num_frames,
+                    "fps": spec.dataset.fps,
+                    "strategy": spec.resolve_options().name,
+                    "seed": spec.seed,
+                    "weight": spec.weight,
+                }
+                for spec in self.cameras
+            ],
+            "scheduler": self.cluster.scheduler_name,
+            "placement": self.cluster.placement_name,
+            "num_gpus": self.cluster.num_gpus,
+            "worker_specs": [
+                {
+                    "tier": spec.tier,
+                    "speed": spec.speed,
+                    "cost_per_gpu_second": spec.cost_per_gpu_second,
+                    "preemptible": spec.preemptible,
+                }
+                for spec in self.cluster.worker_specs
+            ],
+            "revocations": revocations,
+            "revocation_mode": self.cluster.revocation_mode,
+            "autoscaler": self.autoscaler.name,
+            "faults": None if self.faults is None else self.faults.fingerprint(),
+            "batch_overhead_seconds": self.batch_overhead_seconds,
+            "link": {
+                "uplink_kbps": self.link.config.uplink_kbps,
+                "downlink_kbps": self.link.config.downlink_kbps,
+                "rtt_seconds": self.link.config.rtt_seconds,
+            },
+            "replay_seed": None if self.replay_seed is None else list(self.replay_seed),
+        }
+
     # -- execution ------------------------------------------------------------
-    def run(self) -> FleetResult:
-        """Simulate every stream against the shared cloud and link."""
+    def run(self, journal: object | None = None) -> FleetResult:
+        """Simulate every stream against the shared cloud and link.
+
+        ``journal`` (an :class:`~repro.runtime.journal.EventJournal`, or
+        the replay cursor :meth:`~repro.runtime.journal.EventJournal.replay`
+        builds) observes the run: the session configuration goes in as
+        the header, every dispatched event is recorded in order, and the
+        result's :meth:`FleetResult.fingerprint` seals it.  Recording is
+        observation only — event timing and ordering are identical with
+        and without a journal.
+        """
         if self._ran:
             raise RuntimeError(
                 "FleetSession can only be run once (the shared link and cloud "
                 "accumulate state); construct a new session"
             )
         self._ran = True
+        if journal is not None:
+            journal.begin(self._journal_meta())
+        channel = None
         scheduler = EventScheduler()
-        transport = SharedLinkTransport(self.link)
+        if self.faults is not None:
+            # reset per run so the verdict stream is a pure function of
+            # the plan's seed, not of any earlier session it served
+            self.faults.reset()
+            channel = ReliableChannel(self.faults)
+            transport: SharedLinkTransport = ReliableTransport(self.link, channel)
+        else:
+            transport = SharedLinkTransport(self.link)
         # binding creates the GPU workers and resets reused scheduler /
         # placement instances, so no clocks or deficits leak between fleets
         cluster = self.cluster.bind(
@@ -564,6 +786,8 @@ class FleetSession:
         # arm the spot-revocation process (no-op without one): scripted
         # traces schedule verbatim, seeded spot workers draw uptimes
         cluster.start_revocations(scheduler, horizon=duration)
+        if self.faults is not None:
+            cluster.start_faults(scheduler, self.faults, horizon=duration)
         kernel = SessionKernel(
             scheduler,
             edge_actors=edge_actors,
@@ -571,6 +795,8 @@ class FleetSession:
             transport=transport,
             streams=streams,
             autoscaler=controller,
+            channel=channel,
+            journal=journal,
         )
         kernel.run()
 
@@ -600,7 +826,8 @@ class FleetSession:
             if slo is not None and queue_waits
             else 0.0
         )
-        return FleetResult(
+        faulty_link = self.link if isinstance(self.link, FaultySharedLink) else None
+        result = FleetResult(
             cameras=camera_results,
             queue_waits=queue_waits,
             cloud_gpu_seconds=self.cloud.total_gpu_seconds,
@@ -629,4 +856,28 @@ class FleetSession:
             num_relabeled_jobs=cluster.num_relabeled_jobs,
             num_checkpoint_resumed_jobs=cluster.num_checkpoint_resumed_jobs,
             wasted_gpu_seconds=cluster.wasted_gpu_seconds,
+            fault_plan="none" if self.faults is None else self.faults.describe(),
+            crash_records=list(cluster.crash_log),
+            num_crash_recovered_jobs=cluster.num_crash_recovered_jobs,
+            crash_wasted_gpu_seconds=cluster.crash_wasted_gpu_seconds,
+            num_lost_messages=0 if faulty_link is None else faulty_link.num_lost,
+            num_duplicated_messages=(
+                0 if faulty_link is None else faulty_link.num_duplicated
+            ),
+            num_delayed_messages=0 if faulty_link is None else faulty_link.num_delayed,
+            num_retries=0 if channel is None else channel.num_retries,
+            num_duplicate_drops=0 if channel is None else channel.num_duplicate_drops,
+            num_late_drops=0 if channel is None else channel.num_late_drops,
+            num_messages_sent=0 if channel is None else channel.num_messages_sent,
+            num_messages_delivered=(
+                0 if channel is None else channel.num_messages_delivered
+            ),
+            num_messages_in_flight=0 if channel is None else channel.num_in_flight,
+            sends_by_kind={} if channel is None else dict(channel.sends_by_kind),
+            abandoned_by_kind=(
+                {} if channel is None else dict(channel.abandoned_by_kind)
+            ),
         )
+        if journal is not None:
+            journal.finish(result.fingerprint())
+        return result

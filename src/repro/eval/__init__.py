@@ -7,6 +7,7 @@ the same experiments can be reproduced from a notebook, a script or pytest.
 
 from repro.eval.results import (
     StrategyRunResult,
+    fleet_fingerprint,
     format_table,
     format_comparison_table,
     format_dollars,
@@ -27,6 +28,7 @@ __all__ = [
     "format_table",
     "format_comparison_table",
     "format_dollars",
+    "fleet_fingerprint",
     "reduce_metric",
     "prepare_student",
     "run_strategy",

@@ -28,9 +28,21 @@ __all__ = [
     "format_table",
     "format_comparison_table",
     "format_dollars",
+    "fleet_fingerprint",
     "load_bench_trajectory",
     "append_bench_run",
 ]
+
+
+def fleet_fingerprint(result) -> str:
+    """Order-stable digest of a :class:`~repro.core.fleet.FleetResult`.
+
+    Thin eval-facing alias for
+    :meth:`~repro.core.fleet.FleetResult.fingerprint` so determinism
+    checks (CI's journal job, the chaos suite) can compare run outcomes
+    without reaching into core.
+    """
+    return result.fingerprint()
 
 
 def load_bench_trajectory(path: str | Path) -> dict:

@@ -9,6 +9,7 @@ from dataclasses import dataclass
 from repro.core.autoscaling import AutoscalePolicy
 from repro.core.cluster import CloudCluster, RevocationProcess, SchedulerSpec
 from repro.core.config import ShoggothConfig
+from repro.core.faults import FaultPlan
 from repro.core.fleet import CameraSpec, FleetResult, FleetSession
 from repro.core.scheduling import PlacementPolicy, WorkerSpec
 from repro.core.session import SessionResult
@@ -312,6 +313,8 @@ def run_fleet(
     worker_specs: WorkerSpec | list[WorkerSpec] | None = None,
     revocations: RevocationProcess | None = None,
     revocation_mode: str = "relabel",
+    faults: FaultPlan | None = None,
+    journal: object | None = None,
 ) -> FleetRunResult:
     """Run N cameras against one shared cloud/link and score each stream.
 
@@ -332,7 +335,13 @@ def run_fleet(
     ``revocation_mode``) mix heterogeneous and preemptible spot
     workers into the cluster, which
     ``benchmarks/bench_spot_preemption.py`` trades against the
-    all-on-demand cost.
+    all-on-demand cost; ``faults`` attaches a seeded
+    :class:`~repro.core.faults.FaultPlan` (lossy link + worker
+    crashes + reliable delivery), which
+    ``benchmarks/bench_fault_recovery.py`` sweeps, and ``journal``
+    records the run into an
+    :class:`~repro.runtime.journal.EventJournal` for determinism
+    checks and replay.
     """
     settings = settings or ExperimentSettings()
     teacher = TeacherDetector(teacher_config or TeacherConfig(seed=settings.seed + 7))
@@ -360,8 +369,9 @@ def run_fleet(
         worker_specs=worker_specs,
         revocations=revocations,
         revocation_mode=revocation_mode,
+        faults=faults,
     )
-    outcome = fleet.run()
+    outcome = fleet.run(journal=journal)
     per_camera = {
         entry.camera: _score_session(entry.session, entry.session.dataset_name, settings)
         for entry in outcome.cameras

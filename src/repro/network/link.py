@@ -71,6 +71,16 @@ class LinkTransfer:
     camera_id: int = 0
     payload: Any = None
     drain_time: float | None = field(default=None, compare=False)
+    #: reliable-delivery id under a fault plan; retransmissions and
+    #: duplicates of one message share it (-1 = unreliable/off)
+    message_id: int = -1
+    #: when the *first* attempt of this message was sent (None = this
+    #: transfer is the first attempt); keeps latency stats honest under
+    #: retransmission
+    sent_at: float | None = None
+    #: extra one-way delay injected by a fault plan (0.0 = none); added
+    #: on top of drain time + propagation when projecting completion
+    extra_delay: float = 0.0
 
     @property
     def drained(self) -> bool:
@@ -128,10 +138,14 @@ class _SharedPipe:
         active = self.active_count
         for transfer in self._transfers:
             if transfer.drained:
-                completion = (transfer.drain_time or self._time) + self.extra_latency
+                completion = (
+                    (transfer.drain_time or self._time)
+                    + self.extra_latency
+                    + transfer.extra_delay
+                )
             else:
                 drain = self._time + transfer.remaining_bits * active / self.capacity_bps
-                completion = drain + self.extra_latency
+                completion = drain + self.extra_latency + transfer.extra_delay
             if best is None or completion < best[1]:
                 best = (transfer, completion)
         return best
@@ -177,14 +191,30 @@ class SharedLink:
 
     # -- starting transfers -----------------------------------------------
     def begin_uplink(
-        self, message: Message, now: float, camera_id: int = 0, payload: Any = None
+        self,
+        message: Message,
+        now: float,
+        camera_id: int = 0,
+        payload: Any = None,
+        message_id: int = -1,
+        sent_at: float | None = None,
     ) -> LinkTransfer:
-        return self._begin(self._up, "up", message, now, camera_id, payload)
+        return self._begin(
+            self._up, "up", message, now, camera_id, payload, message_id, sent_at
+        )
 
     def begin_downlink(
-        self, message: Message, now: float, camera_id: int = 0, payload: Any = None
+        self,
+        message: Message,
+        now: float,
+        camera_id: int = 0,
+        payload: Any = None,
+        message_id: int = -1,
+        sent_at: float | None = None,
     ) -> LinkTransfer:
-        return self._begin(self._down, "down", message, now, camera_id, payload)
+        return self._begin(
+            self._down, "down", message, now, camera_id, payload, message_id, sent_at
+        )
 
     def _begin(
         self,
@@ -194,6 +224,8 @@ class SharedLink:
         now: float,
         camera_id: int,
         payload: Any,
+        message_id: int = -1,
+        sent_at: float | None = None,
     ) -> LinkTransfer:
         bits = float(message.size_bytes() * 8)
         transfer = LinkTransfer(
@@ -204,6 +236,8 @@ class SharedLink:
             start_time=now,
             camera_id=camera_id,
             payload=payload,
+            message_id=message_id,
+            sent_at=sent_at,
         )
         pipe.add(transfer, now)
         return transfer

@@ -25,7 +25,17 @@ from repro.runtime.events import (
     TrainingDone,
     UploadComplete,
 )
+from repro.runtime.events import (
+    RetryTimer,
+    WorkerCrashEvent,
+)
 from repro.runtime.fps import FPSTracker
+from repro.runtime.journal import (
+    EventJournal,
+    JournalDivergence,
+    JournalError,
+    ReplayReport,
+)
 from repro.runtime.resources import ResourceMonitor
 
 __all__ = [
@@ -42,6 +52,12 @@ __all__ = [
     "LabelsReady",
     "TrainingDone",
     "ModelDownloadComplete",
+    "WorkerCrashEvent",
+    "RetryTimer",
+    "EventJournal",
+    "JournalError",
+    "JournalDivergence",
+    "ReplayReport",
     "FPSTracker",
     "ResourceMonitor",
 ]

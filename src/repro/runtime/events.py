@@ -64,6 +64,8 @@ __all__ = [
     "ModelDownloadComplete",
     "AutoscaleTick",
     "RevocationEvent",
+    "WorkerCrashEvent",
+    "RetryTimer",
     "EventScheduler",
 ]
 
@@ -114,6 +116,8 @@ class ModelDownloadComplete(Event):
     """
 
     model_state: dict = field(default_factory=dict)
+    #: reliable-delivery id under a fault plan (-1 = unreliable/off)
+    message_id: int = -1
 
     priority: ClassVar[int] = 0
 
@@ -125,8 +129,12 @@ class UploadComplete(Event):
     batch: list = field(default_factory=list)
     alpha: float = 0.0
     lambda_usage: float = 0.0
-    #: when the edge handed the batch to the network (for latency stats)
+    #: when the edge handed the batch to the network (for latency stats);
+    #: under retransmission this is the *first* attempt's send time, so
+    #: upload-latency statistics honestly include retry delays
     sent_at: float = 0.0
+    #: reliable-delivery id under a fault plan (-1 = unreliable/off)
+    message_id: int = -1
 
     priority: ClassVar[int] = 1
 
@@ -156,6 +164,8 @@ class LabelsReady(Event):
     """Teacher pseudo-labels (and the new sampling rate) reached the edge."""
 
     response: Any = None
+    #: reliable-delivery id under a fault plan (-1 = unreliable/off)
+    message_id: int = -1
 
     priority: ClassVar[int] = 2
 
@@ -188,6 +198,51 @@ class RevocationEvent(Event):
     worker_id: int = 0
 
     priority: ClassVar[int] = 2
+
+
+@dataclass(slots=True)
+class WorkerCrashEvent(Event):
+    """A GPU worker crashes mid-handler right now (fault injection).
+
+    Scheduled by :meth:`~repro.core.cluster.CloudCluster.start_faults`
+    from the :class:`~repro.core.faults.FaultPlan`'s seeded crash
+    process and handled by
+    :meth:`~repro.core.cluster.CloudCluster.on_crash`: the victim's
+    in-flight busy period is killed mid-service, its jobs are re-placed
+    on the survivors, and the supervisor restarts a replacement worker
+    whose tenant state is recovered from the shared registry.  Unlike a
+    :class:`RevocationEvent`, the victim is picked *when the crash
+    fires* (``victim_draw`` modulo the active workers), because a crash
+    process cannot know the future worker set of an elastic cluster.
+    Same priority as revocations: a busy period finishing exactly at
+    the crash instant counts as finished, not killed.
+    """
+
+    #: seeded draw used to pick the victim among the then-active workers
+    victim_draw: int = 0
+
+    priority: ClassVar[int] = 2
+
+
+@dataclass(slots=True)
+class RetryTimer(Event):
+    """A reliable-delivery retransmission timer expired.
+
+    Scheduled by the :class:`~repro.core.faults.ReliableChannel` when a
+    message is sent; if the message was delivered (and acked) in the
+    meantime the channel cancelled the timer, otherwise the send is
+    retried with exponential backoff up to the plan's attempt budget.
+    Priority 3: at an equal instant, deliveries (priorities 0–2) settle
+    first, so a message arriving exactly at its timeout is not
+    spuriously retransmitted.
+    """
+
+    #: which in-flight message this timer guards
+    message_id: int = -1
+    #: the attempt number this timer was armed for (stale-timer guard)
+    attempt: int = 0
+
+    priority: ClassVar[int] = 3
 
 
 @dataclass(slots=True)

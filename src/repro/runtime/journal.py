@@ -1,0 +1,408 @@
+"""Append-only event journal with byte-stable serialization and replay.
+
+Fault-tolerant systems are debugged from their logs, and a simulation is
+only debuggable if a failing run can be reproduced *exactly*.  The
+:class:`EventJournal` records every event the kernel dispatches — its
+sequence number, simulated time, priority class, type and a digest of
+its payload — together with the run's configuration metadata (camera
+specs, policies, RNG seeds, fault plan).  Because the simulation is
+fully deterministic, the journal doubles as a proof obligation:
+
+* two identical seeded runs must produce **byte-identical** serialized
+  journals (the CI ``determinism`` job asserts this on every push);
+* :meth:`EventJournal.replay` re-executes the run from the recorded
+  configuration and verifies, event by event, that the new run follows
+  the journal — any divergence raises :class:`JournalDivergence` naming
+  the first differing event, and a completed replay returns a
+  :class:`~repro.core.fleet.FleetResult` that must match the live one.
+
+Byte stability comes from canonical JSON (:func:`canonical_dumps`):
+sorted keys, no whitespace, and CPython's shortest-roundtrip float
+``repr`` — the same float always serializes to the same bytes.  The
+serialized form carries a SHA-256 checksum over its meta/records/result
+sections, so truncated or corrupted journal files are rejected with a
+clear :class:`JournalError` instead of silently replaying garbage.
+
+The journal records *digests*, not payloads: it is a tamper-evident
+trace for divergence detection and seed forensics, not a snapshot log —
+recovery reconstructs state by re-running the deterministic simulation
+(see ``docs/fault_tolerance.md``), which is why the file stays small
+even for fleet-scale runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.runtime.events import Event
+
+__all__ = [
+    "EventJournal",
+    "JournalError",
+    "JournalDivergence",
+    "ReplayReport",
+    "canonical_dumps",
+    "stable_digest",
+]
+
+#: serialized-journal format version; bumped on any layout change
+JOURNAL_VERSION = 1
+
+
+def canonical_dumps(obj: Any) -> str:
+    """Serialize to canonical JSON: sorted keys, no whitespace.
+
+    CPython's ``float.__repr__`` is the shortest roundtrip
+    representation, so equal floats always produce equal bytes — the
+    property the byte-identical-journal guarantee rests on.
+    """
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"), allow_nan=False)
+
+
+def stable_digest(obj: Any, length: int = 16) -> str:
+    """Hex SHA-256 prefix of an object's canonical JSON form."""
+    payload = canonical_dumps(obj).encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()[:length]
+
+
+class JournalError(RuntimeError):
+    """A journal file or stream is unusable (truncated, corrupted, wrong
+    version, or used against the journal API's contract)."""
+
+
+class JournalDivergence(JournalError):
+    """A replayed run produced a different event stream than the journal.
+
+    The message names the first diverging sequence number and shows the
+    recorded vs. replayed event record, which is exactly what is needed
+    to bisect a nondeterminism bug.
+    """
+
+
+class _ReplayHalt(Exception):
+    """Internal control flow: the replay cursor reached ``stop_after``."""
+
+
+def _payload_fields(event: Event) -> tuple:
+    """The deterministic payload summary hashed into an event's digest.
+
+    Each event type contributes the fields that identify *what* it
+    delivered, not the delivery objects themselves (frames and model
+    states are large and reconstructed by replay anyway).  Message ids
+    are included so retransmissions and duplicates are distinguishable
+    in the trace.
+    """
+    name = type(event).__name__
+    if name == "FrameArrival":
+        frame = event.frame
+        return (frame.index if frame is not None else -1,)
+    if name == "UploadComplete":
+        return (
+            len(event.batch),
+            event.alpha,
+            event.lambda_usage,
+            event.sent_at,
+            event.message_id,
+        )
+    if name == "LabelsReady":
+        response = event.response
+        if response is None:
+            return (event.message_id,)
+        return (
+            len(response.labeled_frames),
+            response.num_boxes,
+            response.new_sampling_rate,
+            response.phi,
+            event.message_id,
+        )
+    if name == "LabelingDone":
+        return (
+            event.worker_id,
+            [(job.kind, job.camera_id, job.arrival) for job in event.jobs],
+        )
+    if name == "ModelDownloadComplete":
+        return (len(event.model_state), event.message_id)
+    if name == "TrainingDone":
+        window = event.window
+        if window is None:
+            return ()
+        return (window.start, window.end)
+    if name == "RevocationEvent":
+        return (event.worker_id,)
+    if name == "WorkerCrashEvent":
+        return (event.victim_draw,)
+    if name == "RetryTimer":
+        return (event.message_id, event.attempt)
+    return ()
+
+
+def event_record(event: Event, seq: int) -> dict:
+    """Build one journal record for a dispatched event.
+
+    The record pins the event's position in the run (sequence number),
+    its simulated time, its priority class, its type, the camera it
+    routes to, and a digest of its payload — enough to detect any
+    reordering, retiming or payload change between two runs.
+    """
+    name = type(event).__name__
+    return {
+        "seq": seq,
+        "time": event.time,
+        "priority": event.priority,
+        "type": name,
+        "camera": event.camera_id,
+        "digest": stable_digest([name, event.camera_id, _payload_fields(event)]),
+    }
+
+
+@dataclass(frozen=True)
+class ReplayReport:
+    """What a :meth:`EventJournal.replay` produced.
+
+    ``result`` is the replayed run's result object (``None`` when the
+    replay was halted early by ``stop_after``); ``events_checked`` says
+    how many dispatched events were verified against the journal.
+    """
+
+    result: Any
+    events_checked: int
+    total_events: int
+    halted: bool
+    #: the last verified record — for prefix replays, the event the
+    #: replay stopped *after*
+    last_record: dict | None = None
+
+
+class EventJournal:
+    """Append-only record of one run's dispatched events + configuration.
+
+    Lifecycle: :meth:`begin` pins the run's configuration metadata (RNG
+    seeds included), the kernel calls :meth:`record_event` once per
+    dispatched event, and :meth:`finish` pins a fingerprint of the final
+    result.  :meth:`serialize` then produces the byte-stable canonical
+    form; :meth:`deserialize` / :meth:`load` reverse it (rejecting
+    truncation/corruption), and :meth:`replay` re-executes and verifies
+    the run.
+    """
+
+    def __init__(self) -> None:
+        self.meta: dict | None = None
+        self.records: list[dict] = []
+        self.result_fingerprint: str | None = None
+
+    # -- recording -----------------------------------------------------------
+    def begin(self, meta: dict) -> None:
+        """Pin the run's configuration (must be called before any event)."""
+        if self.meta is not None or self.records:
+            raise JournalError(
+                "journal already holds a run; use a fresh EventJournal per run"
+            )
+        # round-trip through canonical JSON now, so unserializable meta
+        # fails at begin() rather than at serialize() after a long run
+        try:
+            self.meta = json.loads(canonical_dumps(meta))
+        except (TypeError, ValueError) as error:
+            raise JournalError(f"journal meta is not JSON-serializable: {error}")
+
+    def record_event(self, event: Event) -> None:
+        """Append one dispatched event's record (called by the kernel)."""
+        if self.meta is None:
+            raise JournalError(
+                "begin() must pin the run's configuration before events "
+                "are recorded"
+            )
+        self.records.append(event_record(event, len(self.records)))
+
+    def finish(self, result_fingerprint: str) -> None:
+        """Pin the run's final-result fingerprint after the last event."""
+        self.result_fingerprint = result_fingerprint
+
+    @property
+    def num_events(self) -> int:
+        """How many dispatched events the journal holds."""
+        return len(self.records)
+
+    # -- serialization -------------------------------------------------------
+    def _body(self) -> dict:
+        return {
+            "meta": self.meta,
+            "records": self.records,
+            "result": self.result_fingerprint,
+        }
+
+    def serialize(self) -> bytes:
+        """Canonical byte form: identical runs produce identical bytes."""
+        body = self._body()
+        checksum = hashlib.sha256(canonical_dumps(body).encode("utf-8")).hexdigest()
+        return canonical_dumps(
+            {"version": JOURNAL_VERSION, "checksum": checksum, **body}
+        ).encode("utf-8")
+
+    def save(self, path: str) -> None:
+        """Write the serialized journal to ``path``."""
+        with open(path, "wb") as handle:
+            handle.write(self.serialize())
+
+    @classmethod
+    def deserialize(cls, data: bytes) -> "EventJournal":
+        """Parse serialized bytes, rejecting truncation and corruption."""
+        try:
+            parsed = json.loads(data.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as error:
+            raise JournalError(
+                f"journal is truncated or not valid JSON: {error}"
+            )
+        if not isinstance(parsed, dict):
+            raise JournalError(
+                f"journal must be a JSON object, got {type(parsed).__name__}"
+            )
+        version = parsed.get("version")
+        if version != JOURNAL_VERSION:
+            raise JournalError(
+                f"unsupported journal version {version!r} "
+                f"(this build reads version {JOURNAL_VERSION})"
+            )
+        missing = [key for key in ("checksum", "meta", "records") if key not in parsed]
+        if missing:
+            raise JournalError(f"journal is missing required keys: {missing}")
+        body = {
+            "meta": parsed["meta"],
+            "records": parsed["records"],
+            "result": parsed.get("result"),
+        }
+        expected = hashlib.sha256(canonical_dumps(body).encode("utf-8")).hexdigest()
+        if parsed["checksum"] != expected:
+            raise JournalError(
+                "journal checksum mismatch: the file was corrupted or edited "
+                f"(recorded {parsed['checksum']!r}, recomputed {expected!r})"
+            )
+        records = body["records"]
+        if not isinstance(records, list) or any(
+            not isinstance(record, dict) for record in records
+        ):
+            raise JournalError("journal records must be a list of objects")
+        for position, record in enumerate(records):
+            if record.get("seq") != position:
+                raise JournalError(
+                    f"journal records are not a contiguous sequence: position "
+                    f"{position} holds seq {record.get('seq')!r}"
+                )
+        journal = cls()
+        journal.meta = body["meta"]
+        journal.records = records
+        journal.result_fingerprint = body["result"]
+        return journal
+
+    @classmethod
+    def load(cls, path: str) -> "EventJournal":
+        """Read and validate a serialized journal file."""
+        with open(path, "rb") as handle:
+            return cls.deserialize(handle.read())
+
+    # -- replay --------------------------------------------------------------
+    def replay(
+        self,
+        session_factory: Callable[[], Any],
+        stop_after: int | None = None,
+    ) -> ReplayReport:
+        """Re-execute the run and verify it against this journal.
+
+        ``session_factory`` must build a fresh session configured
+        identically to the recorded run (same cameras, seeds, policies
+        and fault plan — the journal's ``meta`` is checked against the
+        new session's).  Every event the replay dispatches is compared
+        to the recorded sequence; the first mismatch raises
+        :class:`JournalDivergence`.  With ``stop_after=N`` the replay
+        halts after verifying the first N events (a mid-run prefix
+        replay — the bisection tool for long failing runs) and returns
+        ``result=None``.
+        """
+        if self.meta is None:
+            raise JournalError("cannot replay an empty journal (no meta recorded)")
+        if stop_after is not None and stop_after < 0:
+            raise JournalError(f"stop_after must be >= 0, got {stop_after}")
+        cursor = _ReplayCursor(self, stop_after)
+        session = session_factory()
+        try:
+            result = session.run(journal=cursor)
+        except _ReplayHalt:
+            return ReplayReport(
+                result=None,
+                events_checked=cursor.position,
+                total_events=len(self.records),
+                halted=True,
+                last_record=cursor.last_record,
+            )
+        if cursor.position != len(self.records):
+            raise JournalDivergence(
+                f"replay dispatched {cursor.position} events but the journal "
+                f"recorded {len(self.records)} — the replayed run ended early"
+            )
+        return ReplayReport(
+            result=result,
+            events_checked=cursor.position,
+            total_events=len(self.records),
+            halted=False,
+            last_record=cursor.last_record,
+        )
+
+
+class _ReplayCursor:
+    """Journal-shaped verifier: checks a re-run against a recorded journal.
+
+    Quacks like an :class:`EventJournal` (``begin`` / ``record_event`` /
+    ``finish``) so the kernel and session need no replay-specific code;
+    instead of appending, every call *compares* against the recorded
+    run and raises :class:`JournalDivergence` on the first mismatch.
+    """
+
+    def __init__(self, journal: EventJournal, stop_after: int | None) -> None:
+        self.journal = journal
+        self.stop_after = stop_after
+        self.position = 0
+        self.last_record: dict | None = None
+
+    def begin(self, meta: dict) -> None:
+        replayed = json.loads(canonical_dumps(meta))
+        if replayed != self.journal.meta:
+            raise JournalDivergence(
+                "replay session is configured differently than the recorded "
+                f"run:\n  recorded: {canonical_dumps(self.journal.meta)}\n"
+                f"  replayed: {canonical_dumps(replayed)}"
+            )
+
+    def record_event(self, event: Event) -> None:
+        if self.stop_after is not None and self.position >= self.stop_after:
+            # raised BEFORE the kernel hands the event to its handler, so
+            # a prefix replay observes exactly stop_after dispatches
+            raise _ReplayHalt()
+        records = self.journal.records
+        if self.position >= len(records):
+            raise JournalDivergence(
+                f"replay produced an extra event at seq {self.position} "
+                f"({event_record(event, self.position)!r}) beyond the "
+                f"journal's {len(records)} records"
+            )
+        expected = records[self.position]
+        actual = event_record(event, self.position)
+        if actual != expected:
+            raise JournalDivergence(
+                f"replay diverged at seq {self.position}:\n"
+                f"  recorded: {canonical_dumps(expected)}\n"
+                f"  replayed: {canonical_dumps(actual)}"
+            )
+        self.last_record = actual
+        self.position += 1
+
+    def finish(self, result_fingerprint: str) -> None:
+        recorded = self.journal.result_fingerprint
+        if recorded is not None and result_fingerprint != recorded:
+            raise JournalDivergence(
+                "replayed run matched every recorded event but produced a "
+                f"different result fingerprint ({result_fingerprint!r} vs "
+                f"recorded {recorded!r}) — nondeterminism outside the event "
+                "stream"
+            )

@@ -1,0 +1,274 @@
+"""Event-journal unit tests: serialization, corruption, prefix replay.
+
+The fleet-level determinism checks (two live runs -> byte-identical
+journals, replay -> identical result) live in
+``tests/core/test_determinism.py``; this module covers the journal
+*format* itself — canonical serialization, checksum/version/shape
+validation of untrusted files, and the replay cursor's halting and
+divergence behaviour — using tiny hand-built journals so failures
+point at the journal, not at the simulation.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.runtime.events import Event, FrameArrival, RetryTimer, UploadComplete
+from repro.runtime.journal import (
+    EventJournal,
+    JournalDivergence,
+    JournalError,
+    canonical_dumps,
+    event_record,
+    stable_digest,
+)
+
+
+def make_journal(num_events: int = 3, meta: dict | None = None) -> EventJournal:
+    """A tiny finished journal of plain kernel events."""
+    journal = EventJournal()
+    journal.begin(meta if meta is not None else {"kind": "unit", "seed": 7})
+    for index in range(num_events):
+        journal.record_event(Event(time=float(index), camera_id=index % 2))
+    journal.finish("deadbeef")
+    return journal
+
+
+# ---------------------------------------------------------------------------
+# canonical serialization
+# ---------------------------------------------------------------------------
+def test_canonical_dumps_is_key_order_independent():
+    assert canonical_dumps({"b": 1, "a": [1.5, None]}) == canonical_dumps(
+        {"a": [1.5, None], "b": 1}
+    )
+
+
+def test_canonical_dumps_has_no_whitespace():
+    text = canonical_dumps({"a": [1, 2], "b": {"c": 3}})
+    assert " " not in text and "\n" not in text
+
+
+def test_canonical_dumps_rejects_nan():
+    with pytest.raises(ValueError):
+        canonical_dumps({"x": float("nan")})
+
+
+def test_stable_digest_discriminates_and_repeats():
+    assert stable_digest({"a": 1}) == stable_digest({"a": 1})
+    assert stable_digest({"a": 1}) != stable_digest({"a": 2})
+    assert len(stable_digest({"a": 1}, length=64)) == 64
+
+
+def test_serialize_round_trips_bytes():
+    journal = make_journal()
+    data = journal.serialize()
+    restored = EventJournal.deserialize(data)
+    assert restored.serialize() == data
+    assert restored.num_events == journal.num_events
+
+
+def test_save_and_load(tmp_path):
+    journal = make_journal()
+    path = tmp_path / "run.journal.json"
+    journal.save(path)
+    assert EventJournal.load(path).serialize() == journal.serialize()
+
+
+def test_event_record_includes_order_and_digest():
+    event = UploadComplete(time=1.25, camera_id=3, batch=[], alpha=0.5)
+    record = event_record(event, seq=9)
+    assert record["seq"] == 9
+    assert record["time"] == 1.25
+    assert record["type"] == "UploadComplete"
+    assert record["camera"] == 3
+    assert record["priority"] == UploadComplete.priority
+    # payload participates: a different alpha must change the digest
+    other = event_record(UploadComplete(time=1.25, camera_id=3, batch=[], alpha=0.6), 9)
+    assert record["digest"] != other["digest"]
+
+
+def test_retry_timer_attempt_participates_in_digest():
+    first = event_record(RetryTimer(time=1.0, message_id=4, attempt=1), 0)
+    second = event_record(RetryTimer(time=1.0, message_id=4, attempt=2), 0)
+    assert first["digest"] != second["digest"]
+
+
+def test_begin_rejects_unserializable_meta():
+    journal = EventJournal()
+    with pytest.raises(JournalError, match="meta"):
+        journal.begin({"bad": object()})
+
+
+# ---------------------------------------------------------------------------
+# corruption: every damaged file is rejected with a clear error
+# ---------------------------------------------------------------------------
+def test_truncated_file_is_rejected():
+    data = make_journal().serialize()
+    with pytest.raises(JournalError, match="not valid JSON"):
+        EventJournal.deserialize(data[: len(data) // 2])
+
+
+def test_non_object_payload_is_rejected():
+    with pytest.raises(JournalError, match="JSON object"):
+        EventJournal.deserialize(b"[1, 2, 3]")
+
+
+def test_wrong_version_is_rejected():
+    payload = json.loads(make_journal().serialize())
+    payload["version"] = 999
+    with pytest.raises(JournalError, match="version"):
+        EventJournal.deserialize(canonical_dumps(payload).encode())
+
+
+def test_missing_key_is_rejected():
+    payload = json.loads(make_journal().serialize())
+    del payload["records"]
+    with pytest.raises(JournalError, match="records"):
+        EventJournal.deserialize(canonical_dumps(payload).encode())
+
+
+def test_flipped_record_fails_the_checksum():
+    payload = json.loads(make_journal().serialize())
+    payload["records"][1]["time"] = 123.0
+    with pytest.raises(JournalError, match="checksum"):
+        EventJournal.deserialize(canonical_dumps(payload).encode())
+
+
+def test_tampered_result_fails_the_checksum():
+    payload = json.loads(make_journal().serialize())
+    payload["result"] = "cafebabe"
+    with pytest.raises(JournalError, match="checksum"):
+        EventJournal.deserialize(canonical_dumps(payload).encode())
+
+
+def test_non_contiguous_seq_is_rejected():
+    journal = make_journal(num_events=3)
+    payload = json.loads(journal.serialize())
+    payload["records"][2]["seq"] = 5
+    # recompute the checksum so ONLY the seq invariant can reject it
+    body = {key: payload[key] for key in ("meta", "records", "result")}
+    payload["checksum"] = stable_digest(body, length=64)
+    with pytest.raises(JournalError, match="seq"):
+        EventJournal.deserialize(canonical_dumps(payload).encode())
+
+
+def test_corrupt_file_on_disk_is_rejected(tmp_path):
+    path = tmp_path / "corrupt.journal.json"
+    path.write_bytes(b"{ definitely not a journal")
+    with pytest.raises(JournalError):
+        EventJournal.load(path)
+
+
+# ---------------------------------------------------------------------------
+# replay cursor behaviour (against a fake session, no simulation needed)
+# ---------------------------------------------------------------------------
+class FakeSession:
+    """Replays a scripted event list through the journal cursor protocol."""
+
+    def __init__(self, events, meta, fingerprint="deadbeef"):
+        self.events = events
+        self.meta = meta
+        self.fingerprint = fingerprint
+
+    def run(self, journal=None):
+        journal.begin(self.meta)
+        for event in self.events:
+            journal.record_event(event)
+        journal.finish(self.fingerprint)
+        return "result"
+
+
+def scripted_events(n=3):
+    return [Event(time=float(i), camera_id=i % 2) for i in range(n)]
+
+
+def test_replay_checks_every_event_and_returns_the_result():
+    journal = make_journal()
+    report = journal.replay(
+        lambda: FakeSession(scripted_events(), {"kind": "unit", "seed": 7})
+    )
+    assert report.result == "result"
+    assert not report.halted
+    assert report.events_checked == report.total_events == 3
+
+
+def test_prefix_replay_stops_at_the_right_event():
+    journal = make_journal(num_events=5)
+    report = journal.replay(
+        lambda: FakeSession(scripted_events(5), {"kind": "unit", "seed": 7}),
+        stop_after=2,
+    )
+    assert report.halted
+    assert report.events_checked == 2
+    assert report.total_events == 5
+    # the cursor stops BEFORE dispatching event #2, so the last checked
+    # record is seq 1
+    assert report.last_record is not None and report.last_record["seq"] == 1
+
+
+def test_replay_rejects_mismatched_meta():
+    journal = make_journal()
+    with pytest.raises(JournalDivergence, match="configured differently"):
+        journal.replay(lambda: FakeSession(scripted_events(), {"kind": "other"}))
+
+
+def test_replay_detects_a_diverging_event():
+    journal = make_journal()
+    events = scripted_events()
+    events[1] = Event(time=99.0, camera_id=0)
+    with pytest.raises(JournalDivergence, match="seq 1"):
+        journal.replay(lambda: FakeSession(events, {"kind": "unit", "seed": 7}))
+
+
+def test_replay_detects_extra_events():
+    journal = make_journal(num_events=2)
+    with pytest.raises(JournalDivergence, match="extra event"):
+        journal.replay(lambda: FakeSession(scripted_events(3), {"kind": "unit", "seed": 7}))
+
+
+def test_replay_detects_a_short_run():
+    journal = make_journal(num_events=4)
+    with pytest.raises(JournalDivergence, match="ended early"):
+        journal.replay(lambda: FakeSession(scripted_events(2), {"kind": "unit", "seed": 7}))
+
+
+def test_replay_detects_a_diverging_fingerprint():
+    journal = make_journal()
+    with pytest.raises(JournalDivergence, match="fingerprint"):
+        journal.replay(
+            lambda: FakeSession(
+                scripted_events(), {"kind": "unit", "seed": 7}, fingerprint="cafebabe"
+            )
+        )
+
+
+def test_unfinished_journal_replays_without_a_fingerprint_check():
+    journal = EventJournal()
+    journal.begin({"kind": "unit", "seed": 7})
+    for event in scripted_events():
+        journal.record_event(event)
+    # no finish(): a crashed run's journal still replays event-by-event
+    report = journal.replay(
+        lambda: FakeSession(scripted_events(), {"kind": "unit", "seed": 7})
+    )
+    assert report.events_checked == 3
+
+
+def test_record_event_outside_a_run_is_rejected():
+    journal = EventJournal()
+    with pytest.raises(JournalError, match="begin"):
+        journal.record_event(Event(time=0.0))
+
+
+def test_frame_arrival_record_uses_frame_index():
+    class FakeFrame:
+        index = 17
+        timestamp = 0.5
+
+    record = event_record(
+        FrameArrival(time=0.5, camera_id=1, frame=FakeFrame()), seq=0
+    )
+    other = event_record(FrameArrival(time=0.5, camera_id=1, frame=None), seq=0)
+    assert record["digest"] != other["digest"]
