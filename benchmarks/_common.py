@@ -1,0 +1,81 @@
+"""Shared helpers for the ``bench_*.py`` environment-knob boilerplate.
+
+Every benchmark in this directory is sized by ``REPRO_BENCH_*``
+environment variables so the CI smoke job can run it at a tiny scale
+(see the ``smoke`` job in ``.github/workflows/ci.yml``) while local
+runs keep the documented defaults.  Before this module each benchmark
+hand-rolled the same three ``os.environ.get`` + cast patterns; these
+helpers keep the parsing (and its error messages) in one place:
+
+* :func:`env_int` / :func:`env_float` — one scalar knob;
+* :func:`env_int_list` — a comma-separated sweep knob (``"1,2,4"``);
+* :func:`repo_root` / :func:`bench_json_path` — where the machine-
+  readable ``BENCH_*.json`` trajectories live (repo root, next to
+  ``BENCH_kernel.json``).
+
+Keep using plain module-level constants in the benchmarks themselves
+(``FRAMES = env_int("REPRO_BENCH_SERVING_FRAMES", 240)``): the
+constants document the knob names in one grep-able place per file, and
+``tests/docs/test_docs.py`` checks each benchmark's docstring still
+names its knobs.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = [
+    "env_int",
+    "env_float",
+    "env_int_list",
+    "repo_root",
+    "bench_json_path",
+]
+
+
+def env_int(name: str, default: int) -> int:
+    """Read an integer knob from the environment (``default`` if unset)."""
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        return int(raw)
+    except ValueError as exc:
+        raise ValueError(f"{name} must be an integer, got {raw!r}") from exc
+
+
+def env_float(name: str, default: float) -> float:
+    """Read a float knob from the environment (``default`` if unset)."""
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        return float(raw)
+    except ValueError as exc:
+        raise ValueError(f"{name} must be a number, got {raw!r}") from exc
+
+
+def env_int_list(name: str, default: str) -> list[int]:
+    """Read a comma-separated integer sweep knob (e.g. ``"1,2,4"``)."""
+    raw = os.environ.get(name, default)
+    try:
+        return [int(item) for item in raw.split(",") if item.strip()]
+    except ValueError as exc:
+        raise ValueError(
+            f"{name} must be comma-separated integers, got {raw!r}"
+        ) from exc
+
+
+def repo_root() -> str:
+    """The repository root (this file's parent's parent), absolute."""
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def bench_json_path(name: str) -> str:
+    """Absolute path of a ``BENCH_<name>.json`` trajectory at the repo root.
+
+    The machine-readable perf trajectories (appended with
+    :func:`repro.eval.results.append_bench_run`) live at the repo root
+    so CI can upload them as artifacts next to ``BENCH_kernel.json``.
+    """
+    return os.path.join(repo_root(), f"BENCH_{name}.json")

@@ -31,10 +31,9 @@ asserted at full scale); the shared ``REPRO_*`` settings knobs (see
 
 from __future__ import annotations
 
-import os
-
 import pytest
 
+from benchmarks._common import env_int
 from benchmarks.conftest import write_result
 from repro.core.autoscaling import SloScaler, StepScaler
 from repro.core.fleet import CameraSpec
@@ -42,9 +41,9 @@ from repro.eval import format_table, run_fleet
 from repro.network.link import LinkConfig, SharedLink
 from repro.video import build_dataset
 
-STEADY_FRAMES = int(os.environ.get("REPRO_BENCH_AUTOSCALE_FRAMES", "720"))
-NUM_BURST = int(os.environ.get("REPRO_BENCH_AUTOSCALE_BURST", "12"))
-NUM_STEADY = int(os.environ.get("REPRO_BENCH_AUTOSCALE_STEADY", "4"))
+STEADY_FRAMES = env_int("REPRO_BENCH_AUTOSCALE_FRAMES", 720)
+NUM_BURST = env_int("REPRO_BENCH_AUTOSCALE_BURST", 12)
+NUM_STEADY = env_int("REPRO_BENCH_AUTOSCALE_STEADY", 4)
 DATASET_CYCLE = ["detrac", "kitti", "waymo", "stationary"]
 #: one AMS camera in the steady cohort keeps cloud training in the mix
 STEADY_STRATEGIES = ["shoggoth", "shoggoth", "ams", "shoggoth"]

@@ -30,23 +30,18 @@ and pretraining, as the CI smoke job does.
 
 from __future__ import annotations
 
-import os
-
 import pytest
 
+from benchmarks._common import env_int, env_int_list
 from benchmarks.conftest import write_result
 from repro.core.fleet import CameraSpec
 from repro.eval import format_table, run_fleet
 from repro.network.link import LinkConfig, SharedLink
 from repro.video import build_dataset
 
-GPU_COUNTS = [
-    int(x) for x in os.environ.get("REPRO_BENCH_SHARD_GPUS", "1,2,4").split(",")
-]
-CAMERA_COUNTS = [
-    int(x) for x in os.environ.get("REPRO_BENCH_SHARD_CAMS", "8,16").split(",")
-]
-SHARD_FRAMES = int(os.environ.get("REPRO_BENCH_SHARD_FRAMES", "480"))
+GPU_COUNTS = env_int_list("REPRO_BENCH_SHARD_GPUS", "1,2,4")
+CAMERA_COUNTS = env_int_list("REPRO_BENCH_SHARD_CAMS", "8,16")
+SHARD_FRAMES = env_int("REPRO_BENCH_SHARD_FRAMES", 480)
 DATASET_CYCLE = ["detrac", "kitti", "waymo", "stationary"]
 #: one AMS camera per group of four keeps cloud training in the mix
 STRATEGY_CYCLE = ["shoggoth", "shoggoth", "ams", "shoggoth"]

@@ -34,18 +34,17 @@ shrink pretraining.
 
 from __future__ import annotations
 
-import os
-
 import pytest
 
+from benchmarks._common import env_int
 from benchmarks.conftest import write_result
 from repro.core.faults import FaultPlan
 from repro.core.fleet import CameraSpec
 from repro.eval import format_table, run_fleet
 from repro.video import build_dataset
 
-FRAMES = int(os.environ.get("REPRO_BENCH_FAULT_FRAMES", "720"))
-NUM_CAMERAS = int(os.environ.get("REPRO_BENCH_FAULT_CAMS", "10"))
+FRAMES = env_int("REPRO_BENCH_FAULT_FRAMES", 720)
+NUM_CAMERAS = env_int("REPRO_BENCH_FAULT_CAMS", 10)
 DATASET_CYCLE = ["detrac", "kitti", "waymo", "stationary"]
 #: one AMS camera per cycle keeps model downloads in the fault mix
 STRATEGIES = ["shoggoth", "shoggoth", "ams", "shoggoth"]

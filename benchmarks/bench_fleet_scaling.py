@@ -23,10 +23,9 @@ fleet grid.
 
 from __future__ import annotations
 
-import os
-
 import pytest
 
+from benchmarks._common import env_int, env_int_list
 from benchmarks.conftest import write_result
 from repro.core.fleet import CameraSpec
 from repro.eval import format_table, run_fleet
@@ -34,13 +33,11 @@ from repro.network.link import LinkConfig, SharedLink
 from repro.video import build_dataset
 
 #: overridable so the CI smoke job can run a tiny configuration
-FLEET_SIZES = [
-    int(x) for x in os.environ.get("REPRO_BENCH_FLEET_SIZES", "1,2,4,8").split(",")
-]
+FLEET_SIZES = env_int_list("REPRO_BENCH_FLEET_SIZES", "1,2,4,8")
 DATASET_CYCLE = ["detrac", "kitti", "waymo", "stationary"]
 #: shorter streams than the single-camera tables: the 8-camera point
 #: simulates 8x the frames of a normal run
-FLEET_FRAMES = int(os.environ.get("REPRO_BENCH_FLEET_FRAMES", "600"))
+FLEET_FRAMES = env_int("REPRO_BENCH_FLEET_FRAMES", 600)
 
 
 def build_cameras(n: int, num_frames: int) -> list[CameraSpec]:

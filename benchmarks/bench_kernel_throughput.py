@@ -42,7 +42,6 @@ from __future__ import annotations
 
 import heapq
 import itertools
-import os
 import resource
 import time
 from dataclasses import dataclass, field
@@ -50,28 +49,25 @@ from typing import Any, Callable, ClassVar
 
 import pytest
 
+from benchmarks._common import bench_json_path, env_float, env_int, env_int_list
 from benchmarks.conftest import write_result
 from repro.eval.results import append_bench_run, format_table
 from repro.runtime import events as kernel
 
-REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-BENCH_JSON = os.path.join(REPO_ROOT, "BENCH_kernel.json")
+BENCH_JSON = bench_json_path("kernel")
 
 #: fleet sizes to sweep (the CI smoke job trims the 10k point)
-CAMERAS = [
-    int(x)
-    for x in os.environ.get("REPRO_BENCH_KERNEL_CAMERAS", "100,1000,10000").split(",")
-]
+CAMERAS = env_int_list("REPRO_BENCH_KERNEL_CAMERAS", "100,1000,10000")
 #: dispatched-event budget per fleet size
-EVENTS = int(os.environ.get("REPRO_BENCH_KERNEL_EVENTS", "1000000"))
+EVENTS = env_int("REPRO_BENCH_KERNEL_EVENTS", 1_000_000)
 #: event budget for the head-to-head old-vs-new pair (kept smaller than
 #: the sweep: the pre-PR kernel is the slow side of the comparison)
-BASELINE_EVENTS = int(os.environ.get("REPRO_BENCH_KERNEL_BASELINE_EVENTS", "150000"))
+BASELINE_EVENTS = env_int("REPRO_BENCH_KERNEL_BASELINE_EVENTS", 150_000)
 #: how often the monitored loop polls the live backlog — roughly one
 #: probe per admission/autoscale decision at the workload's upload rate
-PROBE_EVERY = int(os.environ.get("REPRO_BENCH_KERNEL_PROBE_EVERY", "8"))
+PROBE_EVERY = env_int("REPRO_BENCH_KERNEL_PROBE_EVERY", 8)
 #: asserted events/sec floor of new/old at the 1k-camera config
-SPEEDUP_BAR = float(os.environ.get("REPRO_BENCH_KERNEL_SPEEDUP_BAR", "2.0"))
+SPEEDUP_BAR = env_float("REPRO_BENCH_KERNEL_SPEEDUP_BAR", 2.0)
 
 FRAME_INTERVAL = 1.0 / 30.0
 UPLOAD_EVERY = 8  # every Nth frame of a camera starts an upload

@@ -31,10 +31,9 @@ policy grid.
 
 from __future__ import annotations
 
-import os
-
 import pytest
 
+from benchmarks._common import env_int, env_int_list
 from benchmarks.conftest import write_result
 from repro.core.fleet import CameraSpec
 from repro.core.scheduling import AdmissionControlScheduler, build_scheduler
@@ -42,10 +41,8 @@ from repro.eval import format_table, run_fleet
 from repro.network.link import LinkConfig, SharedLink
 from repro.video import build_dataset
 
-FLEET_SIZES = [
-    int(x) for x in os.environ.get("REPRO_BENCH_FLEET_SIZES", "4,8").split(",")
-]
-SCHED_FRAMES = int(os.environ.get("REPRO_BENCH_SCHED_FRAMES", "480"))
+FLEET_SIZES = env_int_list("REPRO_BENCH_FLEET_SIZES", "4,8")
+SCHED_FRAMES = env_int("REPRO_BENCH_SCHED_FRAMES", 480)
 DATASET_CYCLE = ["detrac", "kitti", "waymo", "stationary"]
 #: one AMS camera per group of four: its cloud-side fine-tuning contends
 #: with everyone's labeling on the same GPU under unified-queue policies

@@ -36,10 +36,9 @@ full scale); the shared ``REPRO_*`` settings knobs (see
 
 from __future__ import annotations
 
-import os
-
 import pytest
 
+from benchmarks._common import env_int
 from benchmarks.conftest import write_result
 from repro.core.cluster import RevocationProcess
 from repro.core.fleet import CameraSpec
@@ -48,8 +47,8 @@ from repro.eval import format_table, run_fleet
 from repro.network.link import LinkConfig, SharedLink
 from repro.video import build_dataset
 
-FRAMES = int(os.environ.get("REPRO_BENCH_SPOT_FRAMES", "720"))
-NUM_CAMERAS = int(os.environ.get("REPRO_BENCH_SPOT_CAMS", "12"))
+FRAMES = env_int("REPRO_BENCH_SPOT_FRAMES", 720)
+NUM_CAMERAS = env_int("REPRO_BENCH_SPOT_CAMS", 12)
 DATASET_CYCLE = ["detrac", "kitti", "waymo", "stationary"]
 #: one AMS camera per cycle keeps cloud training in the revocation mix
 STRATEGIES = ["shoggoth", "shoggoth", "ams", "shoggoth"]

@@ -1,0 +1,128 @@
+"""Cluster-wide teacher batching: per-worker vs continuous serving.
+
+A 32-camera fleet (REPRO_SERVING_DEMO_CAMS shrinks it) runs against a
+4-GPU :class:`~repro.core.cluster.CloudCluster` whose teacher amortises
+kernels sub-linearly over batch size (``WorkerSpec(batch_scaling=0.7)``)
+— twice:
+
+* **per-worker** (``batching=None``): each upload is placed onto one
+  worker the instant it arrives and only merges with jobs that queued
+  behind that worker's busy period — the pre-batching serving path;
+* **cluster-wide** (``batching="latency_budget"``): labeling jobs pool
+  in one fleet-level forming batch which the
+  :class:`~repro.core.batching.FleetBatcher` holds up to 20 ms, sizes
+  against the labeling SLO, and flushes to the first idle worker.
+
+The printed table compares labels/sec, p95 labeling-queue delay and
+the GPU busy fraction: the cluster-wide rows label the same frames in
+fewer, cheaper busy periods — higher throughput per busy second at
+(nearly) the same tail latency.  A ``greedy`` row (coalesce whenever a
+worker idles, no hold) separates what coalescing alone buys from what
+the bounded hold adds.
+
+Run with::
+
+    python examples/serving_demo.py
+
+Expected runtime: ~3 CPU-minutes at the default scale.
+
+Environment knobs: ``REPRO_SERVING_DEMO_CAMS`` resizes the fleet; the
+shared ``REPRO_*`` settings variables (see
+:meth:`repro.eval.ExperimentSettings.from_env`) shrink the streams
+and pretraining, as the CI smoke job does.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.core.batching import LatencyBudgetBatchPolicy
+from repro.core.fleet import CameraSpec
+from repro.core.scheduling import WorkerSpec
+from repro.eval import ExperimentSettings, format_table, prepare_student, run_fleet
+from repro.network.link import LinkConfig, SharedLink
+from repro.video import build_dataset
+
+NUM_CAMERAS = int(os.environ.get("REPRO_SERVING_DEMO_CAMS", "32"))
+NUM_GPUS = 4
+BATCH_SCALING = 0.7
+CONFIGS = [
+    ("per-worker", None),
+    ("greedy", "greedy"),
+    (
+        "latency_budget",
+        LatencyBudgetBatchPolicy(max_batch_delay_seconds=0.02, slo_seconds=1.0),
+    ),
+]
+
+
+def build_cameras(settings: ExperimentSettings) -> list[CameraSpec]:
+    presets = ["detrac", "kitti", "waymo", "stationary"]
+    strategies = ["shoggoth", "shoggoth", "ams", "shoggoth"]
+    return [
+        CameraSpec(
+            name=f"cam{i}",
+            dataset=build_dataset(
+                presets[i % len(presets)], num_frames=settings.num_frames
+            ),
+            strategy=strategies[i % len(strategies)],
+            seed=i,
+        )
+        for i in range(NUM_CAMERAS)
+    ]
+
+
+def main() -> None:
+    settings = ExperimentSettings.from_env(
+        num_frames=240,        # 8 seconds of 30-fps video per camera
+        eval_stride=3,
+        pretrain_images=200,
+        pretrain_epochs=5,
+    )
+
+    print("Pre-training the shared student detector offline ...")
+    student = prepare_student(settings)
+    link = LinkConfig(uplink_kbps=10_000.0, downlink_kbps=20_000.0)
+    specs = [WorkerSpec(batch_scaling=BATCH_SCALING) for _ in range(NUM_GPUS)]
+
+    rows = []
+    for label, batching in CONFIGS:
+        print(
+            f"Running the {NUM_CAMERAS}-camera fleet on {NUM_GPUS} GPUs "
+            f"with {label} batching ..."
+        )
+        rows.append(
+            run_fleet(
+                build_cameras(settings), student, settings=settings,
+                link=SharedLink(link), num_gpus=NUM_GPUS,
+                placement="least_loaded", worker_specs=specs,
+                batching=batching,
+            ).serving_row()
+        )
+
+    print()
+    print(
+        format_table(
+            rows,
+            title=(
+                f"Continuous teacher batching — {NUM_CAMERAS} cameras, "
+                f"{NUM_GPUS} GPUs, batch_scaling={BATCH_SCALING}"
+            ),
+        )
+    )
+    print(
+        "\nHow to read this: all three rows label the same uploads on the "
+        "same GPUs — only how jobs merge into teacher batches differs. "
+        "'per-worker' pays one batch overhead per small per-worker busy "
+        "period; 'greedy' pools jobs across the whole cluster whenever a "
+        "worker idles, so fewer/larger busy periods serve the same frames "
+        "and labels per busy second rises; 'latency_budget' additionally "
+        "holds the forming batch up to 20 ms (bounded by a BatchTimeout) "
+        "and sizes each flush so the oldest job's projected delay stays "
+        "inside the SLO — the continuous-batching trade the serving path "
+        "makes: more merging at a strictly bounded cost in tail latency."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -72,6 +72,17 @@ from repro.core.scheduling import (
     WorkerSpec,
     WORKER_TIERS,
 )
+from repro.core.batching import (
+    BatchPolicy,
+    GreedyBatchPolicy,
+    SizeCappedBatchPolicy,
+    LatencyBudgetBatchPolicy,
+    BATCH_POLICIES,
+    build_batch_policy,
+    build_batcher,
+    projected_batch_service,
+    FleetBatcher,
+)
 from repro.core.cluster import (
     CloudCluster,
     RevocationProcess,
@@ -157,6 +168,15 @@ __all__ = [
     "jain_fairness",
     "WorkerSpec",
     "WORKER_TIERS",
+    "BatchPolicy",
+    "GreedyBatchPolicy",
+    "SizeCappedBatchPolicy",
+    "LatencyBudgetBatchPolicy",
+    "BATCH_POLICIES",
+    "build_batch_policy",
+    "build_batcher",
+    "projected_batch_service",
+    "FleetBatcher",
     "CloudCluster",
     "RevocationProcess",
     "RevocationRecord",

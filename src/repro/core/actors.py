@@ -68,6 +68,7 @@ from repro.network.messages import (
 from repro.runtime.device import EdgeComputeModel
 from repro.runtime.events import (
     AutoscaleTick,
+    BatchTimeout,
     Event,
     EventScheduler,
     FrameArrival,
@@ -542,6 +543,24 @@ class CloudActor:
         self.queue.append(job)
         self._maybe_start_service(now, scheduler)
 
+    def accept_batch(
+        self, jobs: "list[GpuJob]", now: float, scheduler: EventScheduler
+    ) -> None:
+        """Queue a merged cluster-wide batch from the fleet batcher.
+
+        Admission already ran when each job entered the batcher's
+        forming batch, so — like :meth:`accept_handoff` — no second
+        admission decision is made here.  All jobs land on the queue
+        *before* service starts, so a whole-queue scheduler (FIFO)
+        serves the merged batch as one busy period paying one
+        ``batch_overhead_seconds``; tenant-picking schedulers may still
+        split it across periods, which is their prerogative.
+        """
+        for job in jobs:
+            job.worker_id = self.worker_id
+            self.queue.append(job)
+        self._maybe_start_service(now, scheduler)
+
     def on_upload(
         self,
         event: UploadComplete,
@@ -713,7 +732,11 @@ class CloudActor:
         when the busy period completes.  A training job resumed from a
         revocation checkpoint keeps its stashed result and is not
         re-trained.  The busy period's wall-clock length is the nominal
-        service divided by the worker's :class:`WorkerSpec` speed.
+        service divided by the worker's :class:`WorkerSpec` speed,
+        after the spec's sub-linear ``batch_scaling`` discount on the
+        period's merged labeling work (a no-op at the default 1.0 — the
+        float operations of the linear path are untouched, keeping the
+        golden pins bit-for-bit).
         """
         if not self.queue or now + 1e-12 < self.busy_until:
             return
@@ -729,6 +752,18 @@ class CloudActor:
                 job.result = self._train_tenant(self.tenants[job.camera_id], job.pool)
                 job.service_seconds = job.result.gpu_seconds
             service += job.service_seconds
+        if self.spec.batch_scaling != 1.0:
+            # sub-linear batch service: F frames of merged labeling work
+            # cost nominal * F**(s-1); training service stays linear and
+            # per-tenant accounting keeps charging the nominal work
+            frames = sum(len(job.batch) for job in jobs if job.kind == LABELING)
+            if frames > 1:
+                labeling = sum(
+                    job.service_seconds for job in jobs if job.kind == LABELING
+                )
+                service -= labeling * (
+                    1.0 - frames ** (self.spec.batch_scaling - 1.0)
+                )
         service /= self.spec.speed
         self.busy_until = now + service
         self.busy_seconds += service
@@ -1086,6 +1121,7 @@ class SessionKernel:
             ModelDownloadComplete: self._handle_model_download,
             TrainingDone: self._handle_training_done,
             AutoscaleTick: self._handle_autoscale,
+            BatchTimeout: self._handle_batch_timeout,
             RevocationEvent: self._handle_revocation,
             WorkerCrashEvent: self._handle_crash,
             RetryTimer: self._handle_retry_timer,
@@ -1177,6 +1213,17 @@ class SessionKernel:
                 "is attached to this kernel"
             )
         self.autoscaler.on_tick(event, self.scheduler)
+
+    def _handle_batch_timeout(self, event: "BatchTimeout") -> None:
+        # only clusters with a FleetBatcher schedule these; the cluster
+        # flushes the forming batch the timer was guarding
+        on_batch_timeout = getattr(self.cloud_actor, "on_batch_timeout", None)
+        if on_batch_timeout is None:
+            raise TypeError(
+                "BatchTimeout scheduled but no fleet batcher is attached "
+                "to this kernel's cloud actor"
+            )
+        on_batch_timeout(event, self.scheduler)
 
     def _handle_revocation(self, event: RevocationEvent) -> None:
         # only clusters with a revocation process schedule these;

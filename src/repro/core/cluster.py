@@ -75,6 +75,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.core.actors import CloudActor, InstantTransport, SharedLinkTransport
+from repro.core.batching import BatchPolicy, FleetBatcher, build_batcher
 from repro.core.cloud import CloudServer
 from repro.core.faults import CrashRecord, FaultPlan
 from repro.core.labeling import LabeledFrame
@@ -88,6 +89,7 @@ from repro.core.scheduling import (
     build_scheduler,
 )
 from repro.runtime.events import (
+    BatchTimeout,
     EventScheduler,
     LabelingDone,
     RevocationEvent,
@@ -242,6 +244,7 @@ class CloudCluster:
         worker_specs: WorkerSpec | Sequence[WorkerSpec] | None = None,
         revocations: RevocationProcess | None = None,
         revocation_mode: str = "relabel",
+        batching: "FleetBatcher | BatchPolicy | str | None" = None,
     ) -> None:
         if num_gpus < 1:
             raise ValueError(f"a cluster needs at least one GPU, got {num_gpus}")
@@ -250,6 +253,9 @@ class CloudCluster:
                 f"revocation_mode must be one of {REVOCATION_MODES}, "
                 f"got {revocation_mode!r}"
             )
+        #: cluster-wide forming-batch layer (None = per-worker batching,
+        #: bit-for-bit the pre-batching serving path)
+        self.batcher = build_batcher(batching)
         self.worker_specs, self._default_spec = self._resolve_specs(
             worker_specs, num_gpus
         )
@@ -361,6 +367,11 @@ class CloudCluster:
         return self.placement.name
 
     @property
+    def batching_name(self) -> str:
+        """Registered name of the cluster-wide batch policy (``"none"`` = off)."""
+        return "none" if self.batcher is None else self.batcher.policy.name
+
+    @property
     def active_workers(self) -> list[CloudActor]:
         """Workers currently accepting placements (excludes draining ones)."""
         return [worker for worker in self.workers if not worker.draining]
@@ -438,6 +449,8 @@ class CloudCluster:
                     spec=self.worker_specs[worker_id],
                 )
             )
+        if self.batcher is not None:
+            self.batcher.bind(self)
         return self
 
     def start_revocations(
@@ -486,6 +499,8 @@ class CloudCluster:
         self._last_phi[camera_id] = (phi, now)
         for scheduler in self.schedulers:
             scheduler.on_labeled(camera_id, phi, now)
+        if self.batcher is not None:
+            self.batcher.on_labeled(camera_id, phi, now)
 
     def register_camera(
         self,
@@ -573,6 +588,9 @@ class CloudCluster:
         self.worker_specs.append(spec)
         self._provision_log.append((now, +1))
         self._arm_revocation(worker, now)
+        if self.batcher is not None and self._event_scheduler is not None:
+            # the new worker starts idle: offer it the forming batch
+            self.batcher.on_worker_idle(now, self._event_scheduler)
         return worker
 
     def remove_worker(
@@ -746,6 +764,12 @@ class CloudCluster:
     def _enqueue_labeling_placed(
         self, job: GpuJob, now: float, scheduler: EventScheduler
     ) -> None:
+        # with a fleet batcher, labeling jobs join the cluster-wide
+        # forming batch instead of being pinned to a worker at arrival;
+        # placement records happen at flush time, when the worker is known
+        if self.batcher is not None:
+            self.batcher.on_job(job, now, scheduler)
+            return
         worker = self._active_at(self.placement.place(job, self.active_workers, now))
         if worker.enqueue_labeling(job, now, scheduler):
             self._record_placement(job.camera_id, worker.worker_id)
@@ -771,6 +795,18 @@ class CloudCluster:
     def on_labeling_done(self, event: LabelingDone, scheduler: EventScheduler) -> None:
         """Route a busy-period completion back to the worker that ran it."""
         self._worker_at(event.worker_id).on_labeling_done(event, scheduler)
+        if self.batcher is not None:
+            # the worker (or another one freed at the same instant) may
+            # now be idle: give the forming batch a flush opportunity
+            self.batcher.on_worker_idle(event.time, scheduler)
+
+    def on_batch_timeout(self, event: BatchTimeout, scheduler: EventScheduler) -> None:
+        """A held forming batch hit its deadline: force-flush it."""
+        if self.batcher is None:
+            raise RuntimeError(
+                "BatchTimeout fired on a cluster without a fleet batcher"
+            )
+        self.batcher.on_timeout(event, scheduler)
 
     def on_revocation(self, event: RevocationEvent, scheduler: EventScheduler) -> None:
         """A spot worker's capacity was pulled: retire it *right now*.
@@ -853,6 +889,11 @@ class CloudCluster:
                 emergency_worker_id=None if emergency is None else emergency.worker_id,
             )
         )
+        if self.batcher is not None:
+            # recovery handoffs bypassed the forming batch (re-placed
+            # jobs must not wait out a hold), but a surviving or
+            # emergency worker may now be idle for the pending jobs
+            self.batcher.on_worker_idle(now, scheduler)
 
     def start_faults(
         self, scheduler: EventScheduler, plan: FaultPlan, horizon: float
@@ -932,6 +973,10 @@ class CloudCluster:
                 wasted_gpu_seconds=wasted,
             )
         )
+        if self.batcher is not None:
+            # the same-spec replacement starts idle: absorb any forming
+            # batch the crashed worker's busy period was blocking
+            self.batcher.on_worker_idle(now, scheduler)
 
     def on_labels_for_training(
         self,

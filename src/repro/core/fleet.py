@@ -42,6 +42,7 @@ from repro.core.autoscaling import (
     build_autoscaler,
 )
 from repro.core.cloud import CloudServer
+from repro.core.batching import BatchPolicy, FleetBatcher
 from repro.core.cluster import (
     CloudCluster,
     RevocationProcess,
@@ -209,6 +210,15 @@ class FleetResult:
     #: ("upload"/"labels"/"model"); empty without a fault plan
     sends_by_kind: dict[str, int] = field(default_factory=dict)
     abandoned_by_kind: dict[str, int] = field(default_factory=dict)
+    #: cluster-wide batch policy that coalesced labeling jobs ("none" =
+    #: per-worker batching, the pre-batching serving path)
+    batching: str = "none"
+    #: merged batches the fleet batcher dispatched / jobs inside them
+    num_merged_batches: int = 0
+    num_batched_jobs: int = 0
+    #: frames that received teacher labels via the queued GPU path (the
+    #: serving-throughput numerator: labels/sec = this / busy seconds)
+    num_labeled_frames: int = 0
 
     @property
     def num_crashes(self) -> int:
@@ -277,6 +287,10 @@ class FleetResult:
             "num_messages_in_flight": self.num_messages_in_flight,
             "sends_by_kind": self.sends_by_kind,
             "abandoned_by_kind": self.abandoned_by_kind,
+            "batching": self.batching,
+            "num_merged_batches": self.num_merged_batches,
+            "num_batched_jobs": self.num_batched_jobs,
+            "num_labeled_frames": self.num_labeled_frames,
             "cameras": [
                 {
                     "camera": entry.camera,
@@ -310,6 +324,26 @@ class FleetResult:
     def num_cameras(self) -> int:
         """How many cameras the fleet ran."""
         return len(self.cameras)
+
+    @property
+    def labels_per_busy_second(self) -> float:
+        """Serving throughput: labeled frames per GPU-busy wall-second.
+
+        The saturation-robust labels/sec definition the serving
+        benchmark compares batch policies on: unlike frames divided by
+        episode duration, it does not flatter a configuration that was
+        simply under-loaded.  0.0 for runs whose GPUs never went busy.
+        """
+        if self.cloud_busy_seconds <= 0:
+            return 0.0
+        return self.num_labeled_frames / self.cloud_busy_seconds
+
+    @property
+    def mean_merged_batch_jobs(self) -> float:
+        """Mean labeling jobs per merged cluster-wide batch (0.0 = no batcher)."""
+        if self.num_merged_batches == 0:
+            return 0.0
+        return self.num_batched_jobs / self.num_merged_batches
 
     @property
     def num_migrations(self) -> int:
@@ -515,6 +549,7 @@ class FleetSession:
         revocations: RevocationProcess | None = None,
         revocation_mode: str = "relabel",
         faults: FaultPlan | None = None,
+        batching: "FleetBatcher | BatchPolicy | str | None" = None,
     ) -> None:
         if not cameras:
             raise ValueError("a fleet needs at least one camera")
@@ -530,11 +565,12 @@ class FleetSession:
                 or worker_specs is not None
                 or revocations is not None
                 or revocation_mode != "relabel"
+                or batching is not None
             ):
                 raise ValueError(
                     "pass either a ready cluster or the scheduler/num_gpus/"
-                    "placement/worker_specs/revocations/revocation_mode "
-                    "knobs, not both"
+                    "placement/worker_specs/revocations/revocation_mode/"
+                    "batching knobs, not both"
                 )
             self.cluster = cluster
         else:
@@ -545,6 +581,7 @@ class FleetSession:
                 worker_specs=worker_specs,
                 revocations=revocations,
                 revocation_mode=revocation_mode,
+                batching=batching,
             )
         # fail now, not at the first revocation: recovering from a spot
         # kill may need an emergency worker, which a cluster built
@@ -715,9 +752,13 @@ class FleetSession:
                     "speed": spec.speed,
                     "cost_per_gpu_second": spec.cost_per_gpu_second,
                     "preemptible": spec.preemptible,
+                    "batch_scaling": spec.batch_scaling,
                 }
                 for spec in self.cluster.worker_specs
             ],
+            "batching": (
+                None if self.cluster.batcher is None else self.cluster.batcher.describe()
+            ),
             "revocations": revocations,
             "revocation_mode": self.cluster.revocation_mode,
             "autoscaler": self.autoscaler.name,
@@ -876,6 +917,16 @@ class FleetSession:
             sends_by_kind={} if channel is None else dict(channel.sends_by_kind),
             abandoned_by_kind=(
                 {} if channel is None else dict(channel.abandoned_by_kind)
+            ),
+            batching=cluster.batching_name,
+            num_merged_batches=(
+                0 if cluster.batcher is None else cluster.batcher.num_batches
+            ),
+            num_batched_jobs=(
+                0 if cluster.batcher is None else cluster.batcher.num_batched_jobs
+            ),
+            num_labeled_frames=sum(
+                len(job.batch) for job in cluster.completed_jobs
             ),
         )
         if journal is not None:

@@ -473,10 +473,22 @@ class WorkerSpec:
     its capacity is pulled).  ``preemptible`` marks spot capacity a
     :class:`~repro.core.cluster.RevocationProcess` may revoke mid-run.
 
-    The defaults (speed 1.0, cost 1.0, on-demand) make every worker of
-    a spec-less cluster bit-for-bit the pre-spec worker, which is what
-    the golden pin in ``tests/core/test_cluster.py`` holds the refactor
-    to.
+    ``batch_scaling`` is the batch-aware service exponent: a busy
+    period labeling ``F`` frames in total costs
+    ``nominal_seconds * F ** (batch_scaling - 1)`` GPU-seconds of
+    labeling work (plus the one ``batch_overhead_seconds`` every busy
+    period pays), so merged teacher batches are *sub-linearly* cheaper
+    than the same frames served as many small periods.  1.0 (the
+    default) is exactly the linear model every prior PR used — the
+    adjustment is skipped entirely, keeping the golden pins bit-for-bit
+    — while e.g. 0.7 models a teacher whose kernels amortise well over
+    large batches.  Per-tenant GPU-second accounting stays nominal (the
+    work represented); only the wall-clock busy time contracts.
+
+    The defaults (speed 1.0, cost 1.0, on-demand, linear batching) make
+    every worker of a spec-less cluster bit-for-bit the pre-spec
+    worker, which is what the golden pin in
+    ``tests/core/test_cluster.py`` holds the refactor to.
     """
 
     #: service-rate multiplier vs. the nominal service model (> 0)
@@ -485,6 +497,8 @@ class WorkerSpec:
     cost_per_gpu_second: float = 1.0
     #: spot capacity: the provider may revoke this worker mid-run
     preemptible: bool = False
+    #: batch-efficiency exponent in (0, 1]; 1.0 = linear (pre-batching)
+    batch_scaling: float = 1.0
 
     def __post_init__(self) -> None:
         if not self.speed > 0:
@@ -492,6 +506,10 @@ class WorkerSpec:
         if self.cost_per_gpu_second < 0:
             raise ValueError(
                 f"cost_per_gpu_second must be >= 0, got {self.cost_per_gpu_second}"
+            )
+        if not 0 < self.batch_scaling <= 1:
+            raise ValueError(
+                f"batch_scaling must be in (0, 1], got {self.batch_scaling}"
             )
 
     @property

@@ -4,9 +4,11 @@ from __future__ import annotations
 
 import os
 from collections import Counter
+from contextlib import contextmanager
 from dataclasses import dataclass
 
 from repro.core.autoscaling import AutoscalePolicy
+from repro.core.batching import BatchPolicy, FleetBatcher
 from repro.core.cluster import CloudCluster, RevocationProcess, SchedulerSpec
 from repro.core.config import ShoggothConfig
 from repro.core.faults import FaultPlan
@@ -295,6 +297,63 @@ class FleetRunResult:
             "provisioned GPU-s": round(fleet.gpu_seconds_provisioned, 1),
         }
 
+    def serving_row(self) -> dict[str, float | str]:
+        """Row for serving-throughput tables: the batching axis.
+
+        Units: ``labels/busy-s`` is labeled frames per GPU-busy
+        wall-second (the saturation-robust serving-throughput measure
+        ``benchmarks/bench_serving_throughput.py`` compares policies
+        on), ``labels/s`` divides by episode duration instead,
+        ``batch jobs`` is the mean labeling jobs per merged
+        cluster-wide batch (n/a without a fleet batcher), and
+        ``busy periods`` counts GPU busy periods that served labeling —
+        fewer at equal labels means better overhead amortisation.
+        """
+        fleet = self.fleet
+        return {
+            "batching": fleet.batching,
+            "GPUs": fleet.num_gpus,
+            "cameras": self.num_cameras,
+            "labels/busy-s": round(fleet.labels_per_busy_second, 1),
+            "labels/s": round(
+                fleet.num_labeled_frames / fleet.duration_seconds, 1
+            ),
+            "p95 delay (s)": round(fleet.p95_queue_delay, 3),
+            "queue delay (s)": round(fleet.mean_queue_delay, 3),
+            "busy periods": fleet.num_labeling_batches,
+            "batch jobs": (
+                round(fleet.mean_merged_batch_jobs, 1)
+                if fleet.num_merged_batches
+                else "n/a"
+            ),
+            "GPU busy frac": round(fleet.cloud_utilization, 3),
+        }
+
+
+@contextmanager
+def _maybe_profile():
+    """Opt-in cProfile wrapper around the hot path (``REPRO_PROFILE=1``).
+
+    When the environment variable is unset (the default) this is a
+    zero-overhead no-op; when set, the wrapped block runs under
+    :class:`cProfile.Profile` and the stats are dumped to
+    ``REPRO_PROFILE_PATH`` (default ``repro_fleet.prof``), readable
+    with ``python -m pstats`` or snakeviz — see ``docs/performance.md``.
+    """
+    if os.environ.get("REPRO_PROFILE") != "1":
+        yield
+        return
+    import cProfile
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield
+    finally:
+        profiler.disable()
+        path = os.environ.get("REPRO_PROFILE_PATH", "repro_fleet.prof")
+        profiler.dump_stats(path)
+
 
 def run_fleet(
     cameras: list[CameraSpec],
@@ -314,6 +373,7 @@ def run_fleet(
     revocations: RevocationProcess | None = None,
     revocation_mode: str = "relabel",
     faults: FaultPlan | None = None,
+    batching: FleetBatcher | BatchPolicy | str | None = None,
     journal: object | None = None,
 ) -> FleetRunResult:
     """Run N cameras against one shared cloud/link and score each stream.
@@ -338,10 +398,18 @@ def run_fleet(
     all-on-demand cost; ``faults`` attaches a seeded
     :class:`~repro.core.faults.FaultPlan` (lossy link + worker
     crashes + reliable delivery), which
-    ``benchmarks/bench_fault_recovery.py`` sweeps, and ``journal``
-    records the run into an
+    ``benchmarks/bench_fault_recovery.py`` sweeps; ``batching``
+    (``None`` default, a policy name from
+    :data:`~repro.core.batching.BATCH_POLICIES` or a ready
+    :class:`~repro.core.batching.FleetBatcher`) coalesces labeling
+    jobs into cluster-wide teacher batches, which
+    ``benchmarks/bench_serving_throughput.py`` measures; and
+    ``journal`` records the run into an
     :class:`~repro.runtime.journal.EventJournal` for determinism
-    checks and replay.
+    checks and replay.  Exporting ``REPRO_PROFILE=1`` wraps the
+    simulation in :mod:`cProfile` and dumps the stats to
+    ``REPRO_PROFILE_PATH`` (default ``repro_fleet.prof``) — see
+    ``docs/performance.md``.
     """
     settings = settings or ExperimentSettings()
     teacher = TeacherDetector(teacher_config or TeacherConfig(seed=settings.seed + 7))
@@ -370,8 +438,10 @@ def run_fleet(
         revocations=revocations,
         revocation_mode=revocation_mode,
         faults=faults,
+        batching=batching,
     )
-    outcome = fleet.run(journal=journal)
+    with _maybe_profile():
+        outcome = fleet.run(journal=journal)
     per_camera = {
         entry.camera: _score_session(entry.session, entry.session.dataset_name, settings)
         for entry in outcome.cameras

@@ -63,6 +63,7 @@ __all__ = [
     "TrainingDone",
     "ModelDownloadComplete",
     "AutoscaleTick",
+    "BatchTimeout",
     "RevocationEvent",
     "WorkerCrashEvent",
     "RetryTimer",
@@ -241,6 +242,30 @@ class RetryTimer(Event):
     message_id: int = -1
     #: the attempt number this timer was armed for (stale-timer guard)
     attempt: int = 0
+
+    priority: ClassVar[int] = 3
+
+
+@dataclass(slots=True)
+class BatchTimeout(Event):
+    """A cluster-wide forming batch hit its maximum hold delay.
+
+    Armed by the :class:`~repro.core.batching.FleetBatcher` when a
+    latency-budgeted policy decides to *hold* queued labeling jobs in
+    the hope of merging them into a bigger (cheaper) teacher batch.
+    When the timer fires the forming batch is flushed to the first idle
+    worker even if the policy would rather keep growing it, bounding
+    the extra queueing delay batching can add to ``max_batch_delay``.
+
+    ``generation`` is a stale-timer guard: the batcher bumps its
+    generation every time it re-arms, so a lazily-cancelled timer from
+    an earlier forming batch that still pops is ignored.  Priority 3:
+    same-instant deliveries (priorities 0–2, e.g. an upload landing
+    exactly at the deadline) settle first and get to join the flush.
+    """
+
+    #: batcher re-arm counter this timer was scheduled under
+    generation: int = 0
 
     priority: ClassVar[int] = 3
 

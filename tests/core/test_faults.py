@@ -82,6 +82,9 @@ def sample_fleet(seed: int) -> dict:
         "n_cameras": int(rng.integers(3, 5)),
         "num_gpus": int(rng.integers(1, 4)),
         "scheduler": ["fifo", "staleness", "admission"][int(rng.integers(3))],
+        "batching": [None, "greedy", "size_capped", "latency_budget"][
+            int(rng.integers(4))
+        ],
         "num_frames": 100,
     }
 
@@ -106,6 +109,7 @@ def run_chaos(seed: int):
         config=small_config(),
         scheduler=shape["scheduler"],
         num_gpus=shape["num_gpus"],
+        batching=shape["batching"],
         faults=plan,
     )
     return session, session.run(), plan

@@ -180,6 +180,28 @@ class TestDriftAware:
         # so a worker that merely observed the service keeps the same clock
         assert sched.staleness(0, now=2.0) == pytest.approx(0.5)
 
+    def test_never_labeled_camera_has_infinite_phi_and_epoch_staleness(self):
+        sched = DriftAwareScheduler()
+        # never measured: drift is unknown, treated as maximally urgent
+        assert sched.phi(7) == float("inf")
+        # never labeled: the staleness clock runs from the epoch (t=0)
+        assert sched.staleness(7, now=3.5) == pytest.approx(3.5)
+        sched.on_labeled(7, phi=0.2, now=3.0)
+        assert sched.phi(7) == pytest.approx(0.2)
+        assert sched.staleness(7, now=3.5) == pytest.approx(0.5)
+
+    def test_two_unmeasured_tenants_tie_break_on_staleness_then_id(self):
+        sched = DriftAwareScheduler()
+        # both φ = +inf, both staleness clocks from the epoch: the
+        # remaining tie-breaks are arrival order then camera id, so the
+        # selection is deterministic even with no signal at all
+        picked = sched.select([job(3, 1.2), job(2, 1.1)], now=2.0)
+        assert {j.camera_id for j in picked} == {2}
+        # and a measured-but-huge φ still loses to never-measured
+        sched.on_labeled(2, phi=1e9, now=2.0)
+        picked = sched.select([job(3, 2.1), job(2, 2.2)], now=3.0)
+        assert {j.camera_id for j in picked} == {3}
+
     def test_serves_all_jobs_of_chosen_tenant_and_resets(self):
         sched = DriftAwareScheduler()
         sched.on_labeled(0, phi=0.9, now=1.0)
@@ -226,8 +248,15 @@ def small_config() -> ShoggothConfig:
     )
 
 
-def make_mixed_fleet(scheduler=None, weights=None, num_frames=240) -> FleetSession:
-    """The pinned fleet: three Shoggoth cameras plus one AMS camera."""
+def make_mixed_fleet(
+    scheduler=None, weights=None, num_frames=240, **fleet_kwargs
+) -> FleetSession:
+    """The pinned fleet: three Shoggoth cameras plus one AMS camera.
+
+    Extra keyword arguments pass through to :class:`FleetSession`, so
+    golden-pin variants (cluster shapes, ``batching=...``) reuse the
+    exact same cameras and config.
+    """
     student = StudentDetector(StudentConfig(seed=5))
     teacher = TeacherDetector(TeacherConfig(seed=9))
     datasets = ["detrac", "kitti", "waymo", "stationary"]
@@ -248,6 +277,7 @@ def make_mixed_fleet(scheduler=None, weights=None, num_frames=240) -> FleetSessi
         teacher=teacher,
         config=small_config(),
         scheduler=scheduler,
+        **fleet_kwargs,
     )
 
 
