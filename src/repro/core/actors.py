@@ -74,6 +74,7 @@ from repro.runtime.events import (
     FrameArrival,
     LabelingDone,
     LabelsReady,
+    LinkPartitionEvent,
     ModelDownloadComplete,
     RetryTimer,
     RevocationEvent,
@@ -1124,6 +1125,7 @@ class SessionKernel:
             BatchTimeout: self._handle_batch_timeout,
             RevocationEvent: self._handle_revocation,
             WorkerCrashEvent: self._handle_crash,
+            LinkPartitionEvent: self._handle_link_partition,
             RetryTimer: self._handle_retry_timer,
         }
 
@@ -1234,6 +1236,27 @@ class SessionKernel:
         # only clusters armed with a FaultPlan schedule these; the
         # cluster supervisor kills the victim and restarts a replacement
         self.cloud_actor.on_crash(event, self.scheduler)
+
+    def _handle_link_partition(self, event: LinkPartitionEvent) -> None:
+        # only fault plans with partitions enabled schedule these; the
+        # shared link pauses (cut) or resumes (heal) both directions and
+        # the transport re-projects its pending completions — a cut
+        # cancels them (nothing can complete while partitioned), a heal
+        # reschedules them from the transfers' preserved remaining bits
+        transport = self.transport
+        link = getattr(transport, "link", None)
+        begin = getattr(link, "begin_partition", None)
+        if begin is None:
+            raise TypeError(
+                "LinkPartitionEvent scheduled but this kernel's transport "
+                "has no partitionable shared link"
+            )
+        if event.healed:
+            link.end_partition(event.time)
+        else:
+            begin(event.time)
+        transport._sync_uplink(self.scheduler, event.time)
+        transport._sync_downlink(self.scheduler, event.time)
 
     def _handle_retry_timer(self, event: RetryTimer) -> None:
         if self.channel is None:

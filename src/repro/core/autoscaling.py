@@ -56,6 +56,7 @@ __all__ = [
     "StepScaler",
     "AUTOSCALERS",
     "build_autoscaler",
+    "autoscaler_from_fingerprint",
     "ScalingEvent",
     "AutoscaleController",
 ]
@@ -161,6 +162,26 @@ class AutoscalePolicy:
         for free.
         """
         self._last_scale_time = now
+
+    # -- serialization -------------------------------------------------------
+    def fingerprint(self) -> dict:
+        """JSON-ready constructor summary, round-trippable.
+
+        :func:`autoscaler_from_fingerprint` rebuilds an equivalent
+        policy from it — the contract the chaos shrinker
+        (:mod:`repro.testing.shrink`) relies on to serialise a failing
+        ``(config, faults, batching, scaler)`` tuple into a regression
+        fixture and replay it later.  Subclasses extend the dict with
+        their own knobs.
+        """
+        return {
+            "name": self.name,
+            "interval_seconds": self.interval_seconds,
+            "window_seconds": self.window_seconds,
+            "min_gpus": self.min_gpus,
+            "max_gpus": self.max_gpus,
+            "cooldown_seconds": self.cooldown_seconds,
+        }
 
     # -- the policy hook -----------------------------------------------------
     def decide(self, signal: AutoscaleSignal) -> int:
@@ -302,6 +323,30 @@ class SloScaler(AutoscalePolicy):
             return -1
         return 0
 
+    def fingerprint(self) -> dict:
+        """Base knobs plus the SLO/hysteresis/spot-headroom parameters."""
+        fingerprint = super().fingerprint()
+        fingerprint.update(
+            slo_seconds=self.slo_seconds,
+            scale_in_utilization=self.scale_in_utilization,
+            sustained_idle_ticks=self.sustained_idle_ticks,
+            hysteresis_fraction=self.hysteresis_fraction,
+            scale_out_step=self.scale_out_step,
+            revocation_headroom=self.revocation_headroom,
+            scale_out_spec=(
+                None
+                if self.scale_out_spec is None
+                else {
+                    "tier": self.scale_out_spec.tier,
+                    "speed": self.scale_out_spec.speed,
+                    "cost_per_gpu_second": self.scale_out_spec.cost_per_gpu_second,
+                    "preemptible": self.scale_out_spec.preemptible,
+                    "batch_scaling": self.scale_out_spec.batch_scaling,
+                }
+            ),
+        )
+        return fingerprint
+
 
 class StepScaler(AutoscalePolicy):
     """Pure utilisation thresholds: out above high, in below low.
@@ -339,6 +384,15 @@ class StepScaler(AutoscalePolicy):
             return -1
         return 0
 
+    def fingerprint(self) -> dict:
+        """Base knobs plus the utilisation watermarks."""
+        fingerprint = super().fingerprint()
+        fingerprint.update(
+            high_utilization=self.high_utilization,
+            low_utilization=self.low_utilization,
+        )
+        return fingerprint
+
 
 #: registry threaded through ``FleetSession(autoscaler=...)`` and
 #: ``run_fleet(autoscaler=...)``
@@ -367,6 +421,24 @@ def build_autoscaler(
             f"unknown autoscaler {autoscaler!r} (known: {known})"
         ) from None
     return factory(**kwargs)
+
+
+def autoscaler_from_fingerprint(data: dict) -> AutoscalePolicy:
+    """Rebuild a policy from :meth:`AutoscalePolicy.fingerprint` output.
+
+    The inverse the chaos shrinker's regression fixtures need: a
+    fixture stores the failing run's scaler as canonical JSON, and
+    replaying the fixture reconstructs an equivalent policy here.  The
+    ``name`` key picks the class from :data:`AUTOSCALERS`; a serialised
+    ``scale_out_spec`` dict is rehydrated into a
+    :class:`~repro.core.scheduling.WorkerSpec`.
+    """
+    kwargs = dict(data)
+    name = kwargs.pop("name")
+    spec = kwargs.pop("scale_out_spec", None)
+    if spec is not None:
+        kwargs["scale_out_spec"] = WorkerSpec(**spec)
+    return build_autoscaler(name, **kwargs)
 
 
 @dataclass(frozen=True)
@@ -551,6 +623,15 @@ class AutoscaleController:
         now: float,
         scheduler: EventScheduler,
     ) -> None:
+        # Scale-in drains: the worker leaves the active set now but its
+        # in-flight busy period finishes in the background. That tail is
+        # exposed to the fault plan's crash process — a crash landing on
+        # the draining worker (the crash-vs-drain race) is resolved by
+        # CloudCluster.on_crash: the tail is preempted once, the drain's
+        # future retirement stamp is superseded by the crash instant,
+        # and no replacement is provisioned (the capacity was already
+        # leaving), so the cluster never double-preempts or regrows
+        # capacity the policy just removed.
         for _ in range(count):
             before = self.cluster.num_active
             if before <= max(1, self.policy.min_gpus):

@@ -919,9 +919,14 @@ class CloudCluster:
         Unlike a spot revocation (capacity pulled by the provider), a
         crash is a *fault* the control plane must mask:
 
-        * the victim — picked from the workers active at fire time, so
-          crashes never target already-drained capacity — stops
-          charging provisioned capacity at the crash instant;
+        * the victim — picked from the workers *crash-eligible* at fire
+          time: every active worker, plus any draining worker still
+          finishing work (an autoscaler scale-down's in-flight tail, or
+          a no-drain removal's kept queue).  Capacity that fully
+          retired can no longer crash; capacity still burning GPU
+          cycles can, which is exactly the crash-during-drain race.
+          The victim stops charging provisioned capacity at the crash
+          instant;
         * its in-flight busy period is killed
           (:meth:`~repro.core.actors.CloudActor.preempt`) under the
           plan's ``crash_recovery`` mode: ``"checkpoint"`` resumes the
@@ -931,20 +936,49 @@ class CloudCluster:
           revocation counters so faults-off invariants are untouched);
         * the supervisor provisions a same-spec replacement *before*
           re-placing the orphaned jobs, so recovery never funnels the
-          victim's whole backlog onto the survivors;
+          victim's whole backlog onto the survivors — *unless* the
+          victim was already draining out of a scale-down: that
+          capacity was leaving anyway, so no replacement is started
+          (``CrashRecord.replacement_id`` is None) and the in-flight
+          tail's recovered jobs simply hand off to the survivors
+          (:meth:`remove_worker` guarantees at least one active worker
+          outlives every drain);
         * queued jobs hand off through placement with no re-admission —
           their uplink is already paid for.
 
-        A crash landing on an empty cluster (every worker already
-        draining) is dropped: there is no process left to kill.
+        The crash-vs-drain race resolves without double-preemption:
+        a draining victim is only eligible while it still has work
+        (its preempt is its first), a crashed worker is never eligible
+        again, and the drain's future provision-log retirement stamp is
+        superseded by the crash instant exactly once.  Worker ids are
+        append-only throughout — no id is reused or renumbered.
+
+        A crash landing on an empty cluster (every worker fully
+        retired) is dropped: there is no process left to kill.
         """
         if self._fault_plan is None:
             raise RuntimeError("on_crash fired without an armed fault plan")
-        active = self.active_workers
-        if not active:
-            return
         now = event.time
-        victim = active[event.victim_draw % len(active)]
+        # active workers, plus draining ones still finishing — a fully
+        # retired drain (nothing in flight, nothing queued) cannot
+        # crash, and neither can an already-crashed or revoked worker.
+        # In runs that never drain (no autoscaler, no removals) this is
+        # exactly the active set, preserving the historical draw.
+        eligible = [
+            worker
+            for worker in self.workers
+            if not worker.crashed
+            and not worker.revoked
+            and (
+                not worker.draining
+                or worker.busy_until > now + 1e-12
+                or worker.queue
+            )
+        ]
+        if not eligible:
+            return
+        victim = eligible[event.victim_draw % len(eligible)]
+        drain_race = victim.draining
         victim.crashed = True
         victim.draining = True
         mode = self._fault_plan.crash_recovery
@@ -959,14 +993,16 @@ class CloudCluster:
             self._provision_log.remove((victim.retired_at, -1))
         victim.retired_at = now
         self._provision_log.append((now, -1))
-        replacement = self.add_worker(now, spec=victim.spec)
+        # a draining victim's capacity was already leaving the cluster:
+        # restarting it would undo the scale-down it lost the race to
+        replacement = None if drain_race else self.add_worker(now, spec=victim.spec)
         for job in handoff:
             self._place_handoff(job, now, scheduler)
         self.crash_log.append(
             CrashRecord(
                 time=now,
                 worker_id=victim.worker_id,
-                replacement_id=replacement.worker_id,
+                replacement_id=None if replacement is None else replacement.worker_id,
                 mode=mode,
                 jobs_in_flight=len(recovered),
                 jobs_queued=len(handoff) - len(recovered),

@@ -54,7 +54,19 @@ __all__ = [
     "CrashRecord",
     "MESSAGE_KINDS",
     "CRASH_RECOVERY_MODES",
+    "PLANTED_BUGS",
 ]
+
+#: deliberately-plantable bugs for the chaos shrinker's own test suite
+#: (:mod:`repro.testing.shrink`): each flag name, while present in this
+#: set, disables one safety mechanism so the invariant harness has a
+#: real failure to minimise.  Production runs never touch this —
+#: the set is empty unless a test (or the shrink CLI's demo mode)
+#: explicitly adds a flag, and fixtures record which flag they need so
+#: regressions replay "green as red".  Currently understood flags:
+#: ``"dedup_off"`` — the reliable channel's receiver-side dedup stops
+#: dropping duplicate deliveries, breaking exactly-once conservation.
+PLANTED_BUGS: set[str] = set()
 
 #: the three edge<->cloud message kinds the reliable channel tracks
 MESSAGE_KINDS = ("upload", "labels", "model")
@@ -96,6 +108,8 @@ class FaultPlan:
         max_attempts: int = 4,
         mean_time_between_crashes: float | None = None,
         crash_recovery: str = "checkpoint",
+        mean_time_between_partitions: float | None = None,
+        mean_partition_seconds: float = 1.0,
     ) -> None:
         for label, rate in (
             ("loss_rate", loss_rate),
@@ -134,6 +148,15 @@ class FaultPlan:
                 f"crash_recovery must be one of {CRASH_RECOVERY_MODES}, "
                 f"got {crash_recovery!r}"
             )
+        if mean_time_between_partitions is not None and mean_time_between_partitions <= 0:
+            raise ValueError(
+                "mean_time_between_partitions must be positive (or None for "
+                f"no partitions), got {mean_time_between_partitions}"
+            )
+        if mean_partition_seconds <= 0:
+            raise ValueError(
+                f"mean_partition_seconds must be positive, got {mean_partition_seconds}"
+            )
         self.seed = seed
         self.loss_rate = loss_rate
         self.duplicate_rate = duplicate_rate
@@ -144,6 +167,8 @@ class FaultPlan:
         self.max_attempts = max_attempts
         self.mean_time_between_crashes = mean_time_between_crashes
         self.crash_recovery = crash_recovery
+        self.mean_time_between_partitions = mean_time_between_partitions
+        self.mean_partition_seconds = mean_partition_seconds
         self.reset()
 
     def reset(self) -> None:
@@ -191,14 +216,50 @@ class FaultPlan:
             time += float(rng.exponential(self.mean_time_between_crashes))
         return crashes
 
+    def draw_partitions(self, horizon: float) -> list[tuple[float, float]]:
+        """Seeded link-partition schedule: non-overlapping (cut, heal) pairs.
+
+        Cut times follow a Poisson process with exponential gaps of mean
+        ``mean_time_between_partitions`` (each gap measured from the
+        previous *heal*, so intervals never overlap); each outage lasts
+        an exponential ``mean_partition_seconds`` draw.  Drawn from an
+        RNG stream independent of both the message verdicts and the
+        crash process — enabling partitions on a plan shifts neither —
+        and freshly seeded per call, so it is deterministic however
+        often it is asked.  Heals past the horizon are kept: the kernel
+        drains them so a run never ends mid-partition.
+        """
+        if self.mean_time_between_partitions is None or horizon <= 0:
+            return []
+        rng = np.random.default_rng([self.seed, 3])
+        partitions: list[tuple[float, float]] = []
+        start = float(rng.exponential(self.mean_time_between_partitions))
+        while start <= horizon:
+            end = start + float(rng.exponential(self.mean_partition_seconds))
+            partitions.append((start, end))
+            start = end + float(rng.exponential(self.mean_time_between_partitions))
+        return partitions
+
     @property
     def injects_message_faults(self) -> bool:
         """Whether any per-message fault has non-zero probability."""
         return (self.loss_rate + self.duplicate_rate + self.delay_rate) > 0.0
 
+    @property
+    def injects_partitions(self) -> bool:
+        """Whether the plan schedules link partitions at all."""
+        return self.mean_time_between_partitions is not None
+
     def fingerprint(self) -> dict:
-        """JSON-ready parameter summary (journaled into the run's meta)."""
-        return {
+        """JSON-ready parameter summary (journaled into the run's meta).
+
+        Round-trips through the constructor: ``FaultPlan(**fp)`` rebuilds
+        an identical plan.  Partition parameters appear only when
+        partitions are enabled, so partition-free plans fingerprint —
+        and journal — byte-identically to plans from before the
+        partition fault existed.
+        """
+        fingerprint = {
             "seed": self.seed,
             "loss_rate": self.loss_rate,
             "duplicate_rate": self.duplicate_rate,
@@ -210,6 +271,12 @@ class FaultPlan:
             "mean_time_between_crashes": self.mean_time_between_crashes,
             "crash_recovery": self.crash_recovery,
         }
+        if self.injects_partitions:
+            fingerprint["mean_time_between_partitions"] = (
+                self.mean_time_between_partitions
+            )
+            fingerprint["mean_partition_seconds"] = self.mean_partition_seconds
+        return fingerprint
 
     def describe(self) -> str:
         """Short human-readable tag for result tables and fault logs."""
@@ -218,9 +285,16 @@ class FaultPlan:
             if self.mean_time_between_crashes is not None
             else ""
         )
+        partitions = (
+            f" mtbp={self.mean_time_between_partitions:g}s"
+            f"/{self.mean_partition_seconds:g}s"
+            if self.injects_partitions
+            else ""
+        )
         return (
             f"seed={self.seed} loss={self.loss_rate:g} "
-            f"dup={self.duplicate_rate:g} delay={self.delay_rate:g}{crashes}"
+            f"dup={self.duplicate_rate:g} delay={self.delay_rate:g}"
+            f"{crashes}{partitions}"
         )
 
 
@@ -231,8 +305,10 @@ class CrashRecord:
     time: float
     worker_id: int
     #: id of the supervised replacement worker brought up at the crash
-    #: instant (tenant state recovered from the shared registry)
-    replacement_id: int
+    #: instant (tenant state recovered from the shared registry), or
+    #: None when the victim was already draining out of an autoscaler
+    #: scale-down — capacity that was leaving is not restarted
+    replacement_id: int | None
     #: recovery mode applied to the in-flight jobs
     mode: str
     #: jobs killed mid-busy-period (checkpoint-resumed or relabeled)
@@ -245,12 +321,17 @@ class CrashRecord:
     @property
     def reason(self) -> str:
         """Human-readable one-liner for timelines and demo output."""
+        restart = (
+            f"restarted as worker {self.replacement_id}"
+            if self.replacement_id is not None
+            else "was draining, not restarted"
+        )
         return (
             f"t={self.time:7.2f}s crashed   worker {self.worker_id} "
             f"({self.jobs_in_flight} in-flight -> {self.mode}, "
             f"{self.jobs_queued} queued re-placed, "
             f"{self.wasted_gpu_seconds:.3f}s wasted, "
-            f"restarted as worker {self.replacement_id})"
+            f"{restart})"
         )
 
 
@@ -459,6 +540,10 @@ class ReliableChannel:
         if message_id < 0:
             return True
         if message_id in self._delivered:
+            if "dedup_off" in PLANTED_BUGS:
+                # planted bug (shrinker test harness only): skip the
+                # dedup drop so a duplicated message is handled twice
+                return True
             self.num_duplicate_drops += 1
             return False
         if message_id in self._abandoned:

@@ -68,7 +68,7 @@ from repro.network.link import LinkConfig, SharedLink
 from repro.runtime.device import CloudComputeModel, EdgeComputeModel
 from repro.runtime.journal import stable_digest
 from repro.runtime.metrics import reduce_metric
-from repro.runtime.events import EventScheduler
+from repro.runtime.events import EventScheduler, LinkPartitionEvent
 from repro.video.datasets import DatasetSpec
 from repro.video.encoding import H264Encoder
 from repro.video.stream import VideoStream
@@ -727,7 +727,13 @@ class FleetSession:
                 "scripted": process.scripted,
                 "seed": process.seed,
                 "mean_uptime_seconds": process.mean_uptime_seconds,
-                "trace": [list(entry) for entry in process.trace],
+                # seeded processes have no scripted trace to pin; their
+                # draws are reproduced from (seed, provision history)
+                "trace": (
+                    None
+                    if process.trace is None
+                    else [list(entry) for entry in process.trace]
+                ),
             }
         return {
             "kind": "fleet",
@@ -829,6 +835,13 @@ class FleetSession:
         cluster.start_revocations(scheduler, horizon=duration)
         if self.faults is not None:
             cluster.start_faults(scheduler, self.faults, horizon=duration)
+            # link partitions: cut/heal pairs from the plan's seeded
+            # partition process.  The heal is always scheduled (even past
+            # the nominal horizon — the kernel drains fully), so a run
+            # never ends with the link still down and transfers frozen.
+            for start, end in self.faults.draw_partitions(duration):
+                scheduler.schedule(LinkPartitionEvent(time=start))
+                scheduler.schedule(LinkPartitionEvent(time=end, healed=True))
         kernel = SessionKernel(
             scheduler,
             edge_actors=edge_actors,

@@ -105,6 +105,9 @@ class _SharedPipe:
         self.extra_latency = extra_latency
         self._transfers: list[LinkTransfer] = []
         self._time = 0.0
+        #: True while a link partition has the pipe down: no bits drain
+        #: and no completion is projected, but transfers stay queued
+        self._paused = False
 
     @property
     def active_count(self) -> int:
@@ -132,7 +135,7 @@ class _SharedPipe:
         arrivals; callers must re-project when load changes.
         """
         self._advance(now)
-        if not self._transfers:
+        if self._paused or not self._transfers:
             return None
         best: tuple[LinkTransfer, float] | None = None
         active = self.active_count
@@ -150,10 +153,35 @@ class _SharedPipe:
                 best = (transfer, completion)
         return best
 
+    def pause(self, now: float) -> None:
+        """Partition the pipe: advance shared state to ``now``, then stop.
+
+        Queued-not-lost semantics: every transfer keeps its remaining
+        bits; while paused :meth:`_advance` only moves ``_time`` forward
+        and :meth:`next_completion` projects nothing, so time spent
+        partitioned drains no data.  Idempotent.
+        """
+        self._advance(now)
+        self._paused = True
+
+    def resume(self, now: float) -> None:
+        """Heal the pipe: move ``_time`` to ``now`` and drain again.
+
+        Transfers resume at exactly the bits they had when the cut
+        fired — callers re-project completions via
+        :meth:`next_completion`.  Idempotent.
+        """
+        self._advance(now)
+        self._paused = False
+
     def _advance(self, now: float) -> None:
         """Drain bits piecewise from the last update time up to ``now``."""
         if now < self._time - 1e-9:
             raise ValueError("pipe time cannot move backwards")
+        if self._paused:
+            # partitioned: time passes but no bits drain
+            self._time = max(self._time, now)
+            return
         remaining_dt = max(0.0, now - self._time)
         while remaining_dt > 0.0:
             active = [t for t in self._transfers if not t.drained]
@@ -253,6 +281,30 @@ class SharedLink:
         """Remove a completed transfer from its pipe."""
         pipe = self._up if transfer.direction == "up" else self._down
         pipe.retire(transfer, now)
+
+    # -- partitions ----------------------------------------------------------
+    def begin_partition(self, now: float) -> None:
+        """Cut both directions: transfers pause in place, queued not lost.
+
+        Distinct from per-message loss (:class:`FaultySharedLink`
+        verdicts): nothing is dropped — every in-flight transfer, and
+        any transfer started while the link is down, resumes draining
+        from its exact remaining bits when :meth:`end_partition` fires.
+        Callers must re-project completions (they all go stale: none
+        can complete while partitioned).
+        """
+        self._up.pause(now)
+        self._down.pause(now)
+
+    def end_partition(self, now: float) -> None:
+        """Heal both directions; paused transfers drain again from now."""
+        self._up.resume(now)
+        self._down.resume(now)
+
+    @property
+    def partitioned(self) -> bool:
+        """True while :meth:`begin_partition` has the link down."""
+        return self._up._paused or self._down._paused
 
     # -- introspection -------------------------------------------------------
     @property

@@ -66,6 +66,7 @@ __all__ = [
     "BatchTimeout",
     "RevocationEvent",
     "WorkerCrashEvent",
+    "LinkPartitionEvent",
     "RetryTimer",
     "EventScheduler",
 ]
@@ -223,6 +224,28 @@ class WorkerCrashEvent(Event):
     victim_draw: int = 0
 
     priority: ClassVar[int] = 2
+
+
+@dataclass(slots=True)
+class LinkPartitionEvent(Event):
+    """The shared edge-cloud link partitions (or heals) right now.
+
+    Scheduled in cut/heal pairs from the
+    :class:`~repro.core.faults.FaultPlan`'s seeded partition process
+    (:meth:`~repro.core.faults.FaultPlan.draw_partitions`) and handled
+    by the session kernel: on the cut (``healed=False``) both directions
+    of the :class:`~repro.network.link.SharedLink` pause — in-flight and
+    newly-started transfers stop draining but are *queued, not lost*,
+    unlike per-message loss faults — and on the heal (``healed=True``)
+    draining resumes where it left off.  Priority 3: transfers whose
+    last bit leaves the pipe exactly when the cut fires (priorities
+    0–2) settle as delivered first.
+    """
+
+    #: False = link goes down now, True = link comes back up now
+    healed: bool = False
+
+    priority: ClassVar[int] = 3
 
 
 @dataclass(slots=True)

@@ -134,6 +134,8 @@ def _payload_fields(event: Event) -> tuple:
         return (event.worker_id,)
     if name == "WorkerCrashEvent":
         return (event.victim_draw,)
+    if name == "LinkPartitionEvent":
+        return (event.healed,)
     if name == "RetryTimer":
         return (event.message_id, event.attempt)
     return ()

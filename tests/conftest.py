@@ -1,12 +1,97 @@
-"""Shared pytest fixtures for the Shoggoth reproduction test suite."""
+"""Shared pytest fixtures for the Shoggoth reproduction test suite.
+
+The fleet-construction fixtures wrap :mod:`repro.testing.scenarios` —
+the library-side single source of truth for the suite's standard
+detectors, config and camera cycles — so test modules stop re-pasting
+the same ``CameraSpec``/``FleetSession`` boilerplate and a failing
+seeded case means the same thing to pytest, to CI and to the
+``python -m repro.testing.shrink`` CLI.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
 
+from repro.core import FleetSession
+from repro.detection import (
+    StudentConfig,
+    StudentDetector,
+    TeacherConfig,
+    TeacherDetector,
+)
+from repro.testing.scenarios import (
+    build_cameras,
+    chaos_scenario,
+    sample_chaos_plan,
+    session_from_scenario,
+    small_fleet_config,
+)
+
 
 @pytest.fixture
 def rng() -> np.random.Generator:
     """Deterministic random generator used across tests."""
     return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def fleet_factory():
+    """Factory for the suite's standard deterministic fleet session.
+
+    ``fleet_factory(n_cameras, num_frames, ...)`` builds cycled cameras
+    via :func:`repro.testing.scenarios.build_cameras`, the shared seeded
+    detectors (student seed 5, teacher seed 9) and the small-but-complete
+    config; any extra keyword arguments pass through to
+    :class:`~repro.core.fleet.FleetSession`.
+    """
+
+    def build(
+        n_cameras: int = 3,
+        num_frames: int = 90,
+        *,
+        datasets: list[str] | None = None,
+        strategies: list[str] | None = None,
+        seed_base: int = 0,
+        **session_kwargs,
+    ) -> FleetSession:
+        return FleetSession(
+            build_cameras(
+                n_cameras,
+                num_frames,
+                datasets=datasets,
+                strategies=strategies,
+                seed_base=seed_base,
+            ),
+            student=StudentDetector(StudentConfig(seed=5)),
+            teacher=TeacherDetector(TeacherConfig(seed=9)),
+            config=small_fleet_config(),
+            **session_kwargs,
+        )
+
+    return build
+
+
+@pytest.fixture
+def chaos_plan_factory():
+    """Factory: chaos seed -> the canonical seeded :class:`FaultPlan`.
+
+    The same draw the chaos suite, the randomized invariant harness and
+    the shrinker CLI share (see :func:`repro.testing.scenarios.
+    sample_chaos_plan`), so a failing seed reproduces everywhere.
+    """
+    return sample_chaos_plan
+
+
+@pytest.fixture
+def chaos_session_factory():
+    """Factory: chaos seed -> a live, ready-to-run chaos fleet session."""
+
+    def build(
+        seed: int, partitions: bool = False, autoscaler: bool = False
+    ) -> FleetSession:
+        return session_from_scenario(
+            chaos_scenario(seed, partitions=partitions, autoscaler=autoscaler)
+        )
+
+    return build

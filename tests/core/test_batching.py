@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import CameraSpec, FleetSession
+from repro.core import FleetSession
 from repro.core.batching import (
     BATCH_POLICIES,
     BatchPolicy,
@@ -42,17 +42,10 @@ from repro.core.scheduling import (
     GpuJob,
     WorkerSpec,
 )
-from repro.detection import (
-    StudentConfig,
-    StudentDetector,
-    TeacherConfig,
-    TeacherDetector,
-)
 from repro.runtime.events import BatchTimeout, EventScheduler
 from repro.runtime.journal import EventJournal
-from repro.video import build_dataset
 
-from test_scheduling import PR1_GOLDEN, make_mixed_fleet, small_config
+from test_scheduling import PR1_GOLDEN, make_mixed_fleet
 
 
 def job(
@@ -427,24 +420,14 @@ class TestBatchedFleetConservation:
 
 
 class TestBatchedDeterminism:
-    def test_batched_runs_journal_identically_and_replay(self):
+    def test_batched_runs_journal_identically_and_replay(self, fleet_factory):
         def build() -> FleetSession:
-            cameras = [
-                CameraSpec(
-                    name=f"cam{i}",
-                    dataset=build_dataset(
-                        ["detrac", "kitti", "waymo"][i % 3], num_frames=90
-                    ),
-                    strategy=["shoggoth", "ams", "shoggoth"][i % 3],
-                    seed=11 + i,
-                )
-                for i in range(3)
-            ]
-            return FleetSession(
-                cameras,
-                student=StudentDetector(StudentConfig(seed=5)),
-                teacher=TeacherDetector(TeacherConfig(seed=9)),
-                config=small_config(),
+            return fleet_factory(
+                3,
+                90,
+                datasets=["detrac", "kitti", "waymo"],
+                strategies=["shoggoth", "ams", "shoggoth"],
+                seed_base=11,
                 num_gpus=2,
                 placement="least_loaded",
                 batching=LatencyBudgetBatchPolicy(

@@ -26,7 +26,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.core import CameraSpec, FaultPlan, FleetSession
+from repro.core import FaultPlan, FleetSession
 from repro.eval import fleet_fingerprint
 from repro.runtime.journal import EventJournal
 from repro.detection import (
@@ -35,9 +35,7 @@ from repro.detection import (
     TeacherConfig,
     TeacherDetector,
 )
-from repro.video import build_dataset
-
-from test_scheduling import small_config
+from repro.testing.scenarios import build_cameras, small_fleet_config
 
 SEED = 11
 
@@ -59,22 +57,17 @@ def dump_on_failure(name: str, *journals: EventJournal) -> str:
 
 def build_fleet(faults: FaultPlan | None = None) -> FleetSession:
     """One deterministic mixed fleet; every call builds it identically."""
-    cameras = [
-        CameraSpec(
-            name=f"cam{i}",
-            dataset=build_dataset(
-                ["detrac", "kitti", "waymo"][i % 3], num_frames=90
-            ),
-            strategy=["shoggoth", "ams", "shoggoth"][i % 3],
-            seed=SEED + i,
-        )
-        for i in range(3)
-    ]
     return FleetSession(
-        cameras,
+        build_cameras(
+            3,
+            90,
+            datasets=["detrac", "kitti", "waymo"],
+            strategies=["shoggoth", "ams", "shoggoth"],
+            seed_base=SEED,
+        ),
         student=StudentDetector(StudentConfig(seed=5)),
         teacher=TeacherDetector(TeacherConfig(seed=9)),
-        config=small_config(),
+        config=small_fleet_config(),
         scheduler="staleness",
         num_gpus=2,
         placement="least_loaded",
@@ -158,6 +151,97 @@ def test_mid_run_prefix_replay_stops_cleanly():
     assert report.events_checked == stop_after
     assert report.last_record is not None
     assert report.last_record["seq"] == stop_after - 1
+
+
+def build_batched_fleet() -> FleetSession:
+    """A latency-budget batched fleet: guarantees BatchTimeout events."""
+    return FleetSession(
+        build_cameras(
+            3,
+            90,
+            datasets=["detrac", "kitti", "waymo"],
+            strategies=["shoggoth", "ams", "shoggoth"],
+            seed_base=SEED,
+        ),
+        student=StudentDetector(StudentConfig(seed=5)),
+        teacher=TeacherDetector(TeacherConfig(seed=9)),
+        config=small_fleet_config(),
+        num_gpus=2,
+        placement="least_loaded",
+        batching="latency_budget",
+    )
+
+
+def build_spot_fleet() -> FleetSession:
+    """A revocable spot fleet: guarantees RevocationEvent events."""
+    from repro.core.cluster import RevocationProcess
+    from repro.core.scheduling import WORKER_TIERS
+
+    return FleetSession(
+        build_cameras(
+            3,
+            90,
+            datasets=["detrac", "kitti", "waymo"],
+            strategies=["shoggoth", "ams", "shoggoth"],
+            seed_base=SEED,
+        ),
+        student=StudentDetector(StudentConfig(seed=5)),
+        teacher=TeacherDetector(TeacherConfig(seed=9)),
+        config=small_fleet_config(),
+        num_gpus=2,
+        worker_specs=[WORKER_TIERS["spot"], WORKER_TIERS["spot"]],
+        revocations=RevocationProcess(mean_uptime_seconds=2.0, seed=3),
+    )
+
+
+def assert_clean_halt_at(journal: EventJournal, build, boundary: int) -> None:
+    """Truncated replay must halt exactly at ``boundary``, touching nothing past it.
+
+    If a stale timer (a cancelled or superseded BatchTimeout, a
+    revocation's pending restore) fired anyway, the replayed run would
+    dispatch an event the journal never recorded — surfacing as a
+    divergence or an events_checked drift, both asserted here.
+    """
+    report = journal.replay(build, stop_after=boundary)
+    assert report.halted and report.result is None
+    assert report.events_checked == boundary
+    if boundary > 0:
+        assert report.last_record is not None
+        assert report.last_record["seq"] == boundary - 1
+
+
+@pytest.mark.parametrize(
+    ("builder", "event_type"),
+    [
+        (build_batched_fleet, "BatchTimeout"),
+        (build_spot_fleet, "RevocationEvent"),
+    ],
+    ids=["batch_timeout", "revocation"],
+)
+def test_prefix_replay_truncates_cleanly_at_timer_boundaries(builder, event_type):
+    """Halting right at / right after a timer event leaves no stale timers.
+
+    BatchTimeout dispatches are generation-guarded and RevocationEvents
+    cancel-and-restore in their handlers; truncating the replay exactly
+    *at* such an event (the handler never runs) and exactly *after* it
+    (the handler is the last thing that runs) are the two boundary
+    cases where a leaked timer would fire into the truncated prefix.
+    The same journal must then still replay in full, event-for-event —
+    truncation is read-only.
+    """
+    journal = EventJournal()
+    builder().run(journal=journal)
+    seqs = [
+        record["seq"]
+        for record in journal.records
+        if record["type"] == event_type
+    ]
+    assert seqs, f"fleet produced no {event_type} events to truncate at"
+    boundary = seqs[len(seqs) // 2]
+    assert_clean_halt_at(journal, builder, boundary)
+    assert_clean_halt_at(journal, builder, boundary + 1)
+    full = journal.replay(builder)
+    assert not full.halted and full.events_checked == journal.num_events
 
 
 def test_replay_rejects_a_differently_configured_session():

@@ -31,88 +31,29 @@ from __future__ import annotations
 
 import os
 
-import numpy as np
 import pytest
 
-from repro.core import CameraSpec, FaultPlan, FleetSession
-from repro.core.faults import CRASH_RECOVERY_MODES, ReliableChannel
+from repro.core import FaultPlan
+from repro.core.faults import ReliableChannel
 from repro.runtime.events import EventScheduler, RetryTimer
 from repro.runtime.journal import EventJournal
-from repro.detection import (
-    StudentConfig,
-    StudentDetector,
-    TeacherConfig,
-    TeacherDetector,
-)
-from repro.video import build_dataset
-
-from test_scheduling import small_config
+from repro.testing.scenarios import chaos_scenario, session_from_scenario
 
 NUM_PLANS = int(os.environ.get("REPRO_CHAOS_SEEDS", "20"))
 SEED_OFFSET = int(os.environ.get("REPRO_CHAOS_SEED_OFFSET", "0"))
 SEEDS = [SEED_OFFSET + index for index in range(NUM_PLANS)]
 
-DATASETS = ["detrac", "kitti", "waymo", "stationary"]
-STRATEGIES = ["shoggoth", "ams", "shoggoth", "shoggoth"]
-
-
-def sample_plan(seed: int) -> FaultPlan:
-    """Draw one fault plan: rates span mild to hostile, seeded by case."""
-    rng = np.random.default_rng(7000 + seed)
-    return FaultPlan(
-        seed=seed,
-        loss_rate=float(rng.uniform(0.0, 0.25)),
-        duplicate_rate=float(rng.uniform(0.0, 0.15)),
-        delay_rate=float(rng.uniform(0.0, 0.2)),
-        mean_delay_seconds=float(rng.uniform(0.2, 1.5)),
-        retry_timeout_seconds=float(rng.uniform(0.4, 1.2)),
-        retry_backoff=float(rng.uniform(1.2, 2.5)),
-        max_attempts=int(rng.integers(2, 5)),
-        mean_time_between_crashes=(
-            float(rng.uniform(2.0, 8.0)) if rng.random() < 0.7 else None
-        ),
-        crash_recovery=CRASH_RECOVERY_MODES[int(rng.integers(2))],
-    )
-
-
-def sample_fleet(seed: int) -> dict:
-    """Draw the fleet shape the plan runs against."""
-    rng = np.random.default_rng(8000 + seed)
-    return {
-        "n_cameras": int(rng.integers(3, 5)),
-        "num_gpus": int(rng.integers(1, 4)),
-        "scheduler": ["fifo", "staleness", "admission"][int(rng.integers(3))],
-        "batching": [None, "greedy", "size_capped", "latency_budget"][
-            int(rng.integers(4))
-        ],
-        "num_frames": 100,
-    }
-
 
 def run_chaos(seed: int):
-    """Build and run one chaos fleet; returns (session, result, plan)."""
-    shape = sample_fleet(seed)
-    plan = sample_plan(seed)
-    cameras = [
-        CameraSpec(
-            name=f"cam{i}",
-            dataset=build_dataset(DATASETS[i % 4], num_frames=shape["num_frames"]),
-            strategy=STRATEGIES[i % 4],
-            seed=i,
-        )
-        for i in range(shape["n_cameras"])
-    ]
-    session = FleetSession(
-        cameras,
-        student=StudentDetector(StudentConfig(seed=5)),
-        teacher=TeacherDetector(TeacherConfig(seed=9)),
-        config=small_config(),
-        scheduler=shape["scheduler"],
-        num_gpus=shape["num_gpus"],
-        batching=shape["batching"],
-        faults=plan,
-    )
-    return session, session.run(), plan
+    """Build and run one chaos fleet; returns (session, result, plan).
+
+    The plan and fleet-shape draws live in
+    :mod:`repro.testing.scenarios` — the same contract the shrinker CLI
+    replays, so any failing seed here is directly
+    ``python -m repro.testing.shrink <seed>`` material.
+    """
+    session = session_from_scenario(chaos_scenario(seed))
+    return session, session.run(), session.faults
 
 
 @pytest.mark.parametrize("seed", SEEDS)
@@ -179,6 +120,10 @@ def test_chaos_invariants(seed):
         )
     for record in result.crash_records:
         victim = cluster.workers[record.worker_id]
+        # no autoscaler here, so no drain race: every crash restarts
+        assert record.replacement_id is not None, (
+            f"{tag}: crash skipped its replacement with nothing draining"
+        )
         replacement = cluster.workers[record.replacement_id]
         assert victim.crashed and victim.draining, (
             f"{tag}: crash victim {record.worker_id} not marked crashed"
@@ -211,19 +156,10 @@ def test_chaos_invariants(seed):
     )
 
 
-def test_faults_off_runs_report_no_fault_activity():
+def test_faults_off_runs_report_no_fault_activity(fleet_factory):
     """A plain fleet run carries all-default fault fields."""
-    cameras = [
-        CameraSpec(
-            name=f"cam{i}", dataset=build_dataset("detrac", num_frames=60), seed=i
-        )
-        for i in range(2)
-    ]
-    result = FleetSession(
-        cameras,
-        student=StudentDetector(StudentConfig(seed=5)),
-        teacher=TeacherDetector(TeacherConfig(seed=9)),
-        config=small_config(),
+    result = fleet_factory(
+        n_cameras=2, num_frames=60, datasets=["detrac"], strategies=["shoggoth"]
     ).run()
     assert result.fault_plan == "none"
     assert result.num_crashes == 0 and not result.crash_records
@@ -237,25 +173,7 @@ def test_chaos_runs_are_deterministic_and_replayable(seed):
     """Same plan + same fleet -> byte-identical journals and exact replay."""
 
     def build():
-        shape = sample_fleet(seed)
-        cameras = [
-            CameraSpec(
-                name=f"cam{i}",
-                dataset=build_dataset(DATASETS[i % 4], num_frames=shape["num_frames"]),
-                strategy=STRATEGIES[i % 4],
-                seed=i,
-            )
-            for i in range(shape["n_cameras"])
-        ]
-        return FleetSession(
-            cameras,
-            student=StudentDetector(StudentConfig(seed=5)),
-            teacher=TeacherDetector(TeacherConfig(seed=9)),
-            config=small_config(),
-            scheduler=shape["scheduler"],
-            num_gpus=shape["num_gpus"],
-            faults=sample_plan(seed),
-        )
+        return session_from_scenario(chaos_scenario(seed))
 
     first, second = EventJournal(), EventJournal()
     result = build().run(journal=first)
@@ -341,17 +259,14 @@ def test_reliable_channel_dedup_and_abandonment():
     assert channel.num_retries == 1
 
 
-def test_fault_plan_and_explicit_link_are_mutually_exclusive():
+def test_fault_plan_and_explicit_link_are_mutually_exclusive(fleet_factory):
     from repro.network.link import SharedLink
 
-    cameras = [
-        CameraSpec(name="cam0", dataset=build_dataset("detrac", num_frames=30))
-    ]
     with pytest.raises(ValueError, match="not both"):
-        FleetSession(
-            cameras,
-            student=StudentDetector(StudentConfig(seed=5)),
-            teacher=TeacherDetector(TeacherConfig(seed=9)),
+        fleet_factory(
+            n_cameras=1,
+            num_frames=30,
+            datasets=["detrac"],
             link=SharedLink(),
             faults=FaultPlan(seed=0),
         )

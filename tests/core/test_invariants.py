@@ -33,11 +33,13 @@ from repro.core.cluster import REVOCATION_MODES, RevocationProcess
 from repro.core.scheduling import PLACEMENTS, SCHEDULERS, WORKER_TIERS
 from repro.detection import StudentConfig, StudentDetector, TeacherConfig, TeacherDetector
 from repro.runtime.events import Event, EventScheduler
+from repro.testing import check_invariants, chaos_scenario, session_from_scenario
 from repro.video import build_dataset
 
 from test_scheduling import small_config
 
 NUM_CONFIGS = 30
+NUM_CHAOS_CONFIGS = 20
 DATASETS = ["detrac", "kitti", "waymo", "stationary"]
 STRATEGIES = ["shoggoth", "ams", "shoggoth", "shoggoth"]
 TIERS = list(WORKER_TIERS.values())
@@ -196,12 +198,16 @@ def test_simulation_invariants(seed):
     cluster = session.cluster
 
     # -- frame conservation ------------------------------------------------
+    # fault-aware form: faults may *abandon* uploads (num_abandoned_uploads,
+    # zero in this faults-off grid) but can never lose or duplicate one
     sent = sum(entry.session.num_uploads for entry in result.cameras)
     labeled = len(result.queue_waits)
     rejected = result.num_rejected_uploads
-    assert labeled + rejected == sent, (
+    abandoned = result.num_abandoned_uploads
+    assert labeled + rejected + abandoned == sent, (
         f"{tag}: {sent} uploads sent but {labeled} labeled + {rejected} "
-        "rejected — a revocation or drain lost or duplicated a job"
+        f"rejected + {abandoned} abandoned — a revocation or drain lost "
+        "or duplicated a job"
     )
     # every completed job was completed by exactly one worker
     all_completed = [
@@ -285,3 +291,92 @@ def test_simulation_invariants(seed):
         assert victim.spec.preemptible and victim.revoked, (
             f"{tag}: revocation hit a non-preemptible or non-revoked worker"
         )
+
+
+def chaos_grid(seed: int) -> dict:
+    """One cell of the chaos cross-product: autoscaler × partitions on."""
+    return chaos_scenario(seed, partitions=True, autoscaler=True)
+
+
+def test_chaos_grid_covers_the_fault_axes():
+    """The 20-seed window genuinely crosses every axis it claims to.
+
+    Guards the sampling contract: if a draw change silently stopped
+    producing autoscaled, batched, partitioned or crashing cells, the
+    per-seed invariant cases below would go green while testing nothing.
+    """
+    scenarios = [chaos_grid(seed) for seed in range(NUM_CHAOS_CONFIGS)]
+    axes = {
+        "autoscaler": [bool(s["autoscaler"]) for s in scenarios],
+        "batching": [bool(s["batching"]) for s in scenarios],
+        "partitions": [
+            "mean_time_between_partitions" in s["fault_plan"] for s in scenarios
+        ],
+        "crashes": [
+            s["fault_plan"]["mean_time_between_crashes"] is not None
+            for s in scenarios
+        ],
+    }
+    for axis, hits in axes.items():
+        assert any(hits), f"no scenario in the window exercises {axis}"
+        assert not all(hits), f"no scenario in the window runs without {axis}"
+    assert any(
+        all(column[i] for column in axes.values())
+        for i in range(NUM_CHAOS_CONFIGS)
+    ), "no scenario crosses autoscaler × batching × partitions × crashes"
+
+
+@pytest.mark.parametrize("seed", range(NUM_CHAOS_CONFIGS))
+def test_chaos_autoscaler_invariants(seed):
+    """Conservation laws under autoscaler × partitioned link × batching.
+
+    The faults-off grid above cannot see the crash-vs-drain race or
+    queued-not-lost partition semantics; this grid samples seeded cells
+    where all of them interact and asserts the same laws via the
+    shrinker's oracle (:func:`repro.testing.check_invariants`) — so
+    any red cell here is immediately
+    ``python -m repro.testing.shrink`` material.
+    """
+    scenario = chaos_grid(seed)
+    tag = f"seed={seed} scenario={scenario}"
+    session = session_from_scenario(scenario)
+    result = session.run()
+    failure = check_invariants(session, result)
+    assert failure is None, f"{tag}: invariant broken: {failure}"
+
+    # fault-aware frame conservation, spelled out for a readable failure
+    sent = result.sends_by_kind["upload"]
+    labeled = len(result.queue_waits)
+    assert (
+        labeled + result.num_rejected_uploads + result.num_abandoned_uploads
+        == sent
+    ), f"{tag}: upload conservation broke under faults"
+
+    # crash-vs-drain: each worker crashes at most once (no double
+    # preemption), drain-race victims are never restarted, and ids stay
+    # append-only through every scale-out, crash and drain
+    cluster = session.cluster
+    victims = [record.worker_id for record in result.crash_records]
+    assert len(set(victims)) == len(victims), (
+        f"{tag}: a worker appears twice in the crash log"
+    )
+    for record in result.crash_records:
+        victim = cluster.workers[record.worker_id]
+        assert victim.crashed and victim.draining, (
+            f"{tag}: crash victim {record.worker_id} not marked crashed"
+        )
+        if record.replacement_id is None:
+            # the victim lost the crash-vs-drain race: it was already
+            # draining out of a scale-down, so no replacement started
+            assert victim.retired_at == pytest.approx(record.time), (
+                f"{tag}: drain-race victim kept billing past its crash"
+            )
+        else:
+            assert (
+                cluster.workers[record.replacement_id].spec == victim.spec
+            ), f"{tag}: crash replacement changed hardware spec"
+    ids = [worker.worker_id for worker in cluster.workers]
+    assert ids == list(range(len(cluster.workers))), (
+        f"{tag}: worker ids reused or renumbered: {ids}"
+    )
+    assert result.dollar_cost >= 0.0

@@ -1,0 +1,93 @@
+"""Shrunk chaos regressions: every committed fixture replays, forever.
+
+``tests/fixtures/regressions/*.json`` holds minimised failing cases the
+chaos shrinker (``python -m repro.testing.shrink``) produced — each one
+a tiny scenario that once broke an invariant.  This module
+auto-discovers every fixture and replays it as a tier-1 case:
+
+* fixtures minimised against a *planted* bug flag replay **red** with
+  the flag planted (the recorded failure reproduces exactly) and
+  **green** without it;
+* fixtures captured from *real* (since fixed) failures replay green —
+  the regression stays fixed;
+* the minimisation metadata is re-checked, so a fixture that quietly
+  stopped being minimal (or stopped reproducing) fails loudly instead
+  of rotting.
+
+Dropping a new ``.json`` into the fixtures directory is the whole
+workflow for pinning a fresh chaos failure — no test code changes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.testing import run_scenario
+
+FIXTURE_DIR = Path(__file__).resolve().parent.parent / "fixtures" / "regressions"
+FIXTURES = sorted(FIXTURE_DIR.glob("*.json"))
+
+
+def load(path: Path) -> dict:
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def test_the_regression_corpus_is_not_empty():
+    """Discovery must find the committed corpus, or every case silently skips."""
+    assert FIXTURES, f"no regression fixtures found under {FIXTURE_DIR}"
+
+
+@pytest.mark.parametrize("path", FIXTURES, ids=[p.stem for p in FIXTURES])
+def test_fixture_schema(path):
+    fixture = load(path)
+    assert fixture["version"] == 1
+    assert fixture["kind"] == "chaos_regression"
+    assert fixture["failure"]
+    assert fixture["scenario"]["fault_plan"]
+    assert fixture["shrunk"]["num_events"] >= 0
+    assert fixture["original"]["num_events"] >= fixture["shrunk"]["num_events"]
+
+
+@pytest.mark.parametrize("path", FIXTURES, ids=[p.stem for p in FIXTURES])
+def test_fixture_replays_green_as_red(path):
+    """The recorded failure reproduces with its bug, and only with it."""
+    fixture = load(path)
+    if fixture["planted_bug"] is not None:
+        failure, _, _ = run_scenario(
+            fixture["scenario"], planted_bug=fixture["planted_bug"]
+        )
+        assert failure == fixture["failure"], (
+            f"{path.name}: recorded failure {fixture['failure']!r} no longer "
+            f"reproduces under planted bug {fixture['planted_bug']!r} "
+            f"(got {failure!r})"
+        )
+    failure, _, _ = run_scenario(fixture["scenario"])
+    assert failure is None, (
+        f"{path.name}: the minimised scenario fails again without its "
+        f"planted bug — the {fixture['failure']!r} regression is BACK ({failure!r})"
+    )
+
+
+@pytest.mark.parametrize("path", FIXTURES, ids=[p.stem for p in FIXTURES])
+def test_fixture_is_genuinely_minimised(path):
+    """Shrunk fixtures stay small: the corpus must not rot into noise."""
+    fixture = load(path)
+    original = fixture["original"]["num_events"]
+    shrunk = fixture["shrunk"]["num_events"]
+    if original > 0:
+        assert shrunk <= original / 4, (
+            f"{path.name}: shrunk case kept {shrunk}/{original} events — "
+            "re-shrink it (python -m repro.testing.shrink) before committing"
+        )
+    plan = fixture["scenario"]["fault_plan"]
+    nonzero = [
+        rate
+        for rate in ("loss_rate", "duplicate_rate", "delay_rate")
+        if plan[rate] > 0.0
+    ]
+    assert len(nonzero) <= 2, (
+        f"{path.name}: {len(nonzero)} fault rates left non-zero — not minimal"
+    )

@@ -1,0 +1,190 @@
+"""Chaos shrinker tests: convergence, determinism, budget, CLI.
+
+The shrinker is exercised against a *planted* invariant-violating bug
+(``"dedup_off"`` — the cloud dedup gate waved duplicates through,
+breaking upload conservation), so these tests can watch it minimise a
+real failure without depending on any actual bug existing: with the
+flag planted a hostile scenario goes red, and the shrinker must walk it
+down to a minimal case — autoscaler/batching/crashes/partitions all
+stripped, retry budget at its floor, at most the fault rates the
+failure genuinely needs — the same way on every run.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.faults import PLANTED_BUGS
+from repro.runtime.journal import canonical_dumps
+from repro.testing import ChaosShrinker, chaos_scenario, run_scenario
+from repro.testing.shrink import main, planted, write_fixture
+
+#: a seed whose chaos draw fails under the planted dedup bug (its plan
+#: draws a meaningful duplicate_rate); pinned by the probe test below
+FAILING_SEED = 0
+#: a seed whose chaos draw stays green even under the planted bug (its
+#: duplicate draw is too small to ever double-handle an upload)
+PASSING_SEED = 4
+
+
+def hostile_scenario() -> dict:
+    """The failing starting point the convergence tests minimise."""
+    return chaos_scenario(FAILING_SEED, partitions=True, autoscaler=True)
+
+
+def test_planted_bug_context_is_scoped():
+    assert "dedup_off" not in PLANTED_BUGS
+    with planted("dedup_off"):
+        assert "dedup_off" in PLANTED_BUGS
+    assert "dedup_off" not in PLANTED_BUGS
+    with planted(None):
+        assert not PLANTED_BUGS
+
+
+def test_seed_probes_pin_the_test_vocabulary():
+    """The seeds these tests rely on behave as documented."""
+    failure, events, _ = run_scenario(hostile_scenario(), "dedup_off")
+    assert failure == "upload_conservation" and events > 0
+    passing = chaos_scenario(PASSING_SEED, partitions=True, autoscaler=True)
+    assert run_scenario(passing, "dedup_off")[0] is None
+    # and without the planted bug the hostile scenario is healthy too
+    assert run_scenario(hostile_scenario())[0] is None
+
+
+def test_passing_config_reports_no_failure_found():
+    scenario = chaos_scenario(PASSING_SEED, partitions=True, autoscaler=True)
+    shrinker = ChaosShrinker(scenario, budget=3, planted_bug="dedup_off")
+    assert shrinker.shrink() is None
+
+
+def test_shrinker_converges_to_a_minimal_case():
+    """Every axis the failure does not need ends at its floor."""
+    fixture = ChaosShrinker(
+        hostile_scenario(), budget=150, planted_bug="dedup_off"
+    ).shrink()
+    assert fixture is not None
+    assert fixture["failure"] == "upload_conservation"
+    scenario = fixture["scenario"]
+    plan = scenario["fault_plan"]
+    # upload conservation only needs duplicated deliveries: everything
+    # else must have been stripped or floored
+    assert scenario["autoscaler"] is None
+    assert scenario["batching"] is None
+    assert plan["mean_time_between_crashes"] is None
+    assert "mean_time_between_partitions" not in plan
+    assert plan["max_attempts"] == 1
+    assert plan["duplicate_rate"] > 0.0
+    nonzero = [
+        rate
+        for rate in ("loss_rate", "duplicate_rate", "delay_rate")
+        if plan[rate] > 0.0
+    ]
+    assert len(nonzero) <= 2, f"shrink left {nonzero} rates non-zero"
+    assert scenario["n_cameras"] <= hostile_scenario()["n_cameras"]
+    assert (
+        fixture["shrunk"]["num_events"] <= fixture["original"]["num_events"]
+    )
+    # the shrunk case still fails exactly the recorded way
+    assert (
+        run_scenario(scenario, fixture["planted_bug"])[0] == fixture["failure"]
+    )
+
+
+def test_shrinking_is_deterministic():
+    """Same failing input -> byte-identical fixture, same run count."""
+    first = ChaosShrinker(hostile_scenario(), budget=60, planted_bug="dedup_off")
+    second = ChaosShrinker(hostile_scenario(), budget=60, planted_bug="dedup_off")
+    fixture_a, fixture_b = first.shrink(), second.shrink()
+    assert canonical_dumps(fixture_a) == canonical_dumps(fixture_b)
+    assert first.runs == second.runs
+
+
+def test_budget_bounds_simulation_runs():
+    shrinker = ChaosShrinker(
+        hostile_scenario(), budget=5, planted_bug="dedup_off"
+    )
+    fixture = shrinker.shrink()
+    # even out of budget the shrinker returns its best-so-far fixture
+    assert fixture is not None and fixture["failure"] == "upload_conservation"
+    assert shrinker.runs <= 5
+    with pytest.raises(ValueError, match="budget"):
+        ChaosShrinker(hostile_scenario(), budget=0)
+
+
+def test_construction_errors_shrink_as_exception_failures():
+    """A scenario that cannot even build is a failure, not a crash."""
+    scenario = hostile_scenario()
+    scenario["autoscaler"] = {
+        "name": "step",
+        "interval_seconds": 2.0,
+        "window_seconds": 6.0,
+        "min_gpus": scenario["num_gpus"] + 5,
+        "max_gpus": scenario["num_gpus"] + 6,
+        "cooldown_seconds": 3.0,
+        "high_utilization": 0.85,
+        "low_utilization": 0.3,
+    }
+    failure, events, _ = run_scenario(scenario)
+    assert failure == "exception:ValueError" and events == 0
+    fixture = ChaosShrinker(scenario, budget=30).shrink()
+    assert fixture is not None
+    assert fixture["failure"] == "exception:ValueError"
+    # the broken autoscaler is the failure: it must survive the shrink
+    assert fixture["scenario"]["autoscaler"] is not None
+
+
+def test_fixture_round_trips_canonically(tmp_path):
+    fixture = ChaosShrinker(
+        hostile_scenario(), budget=20, planted_bug="dedup_off"
+    ).shrink()
+    path = write_fixture(fixture, str(tmp_path))
+    raw = open(path, encoding="utf-8").read()
+    assert raw == canonical_dumps(json.loads(raw)) + "\n"
+    assert json.loads(raw) == fixture
+    # idempotent: re-writing the same fixture lands on the same file
+    assert write_fixture(fixture, str(tmp_path)) == path
+    assert len(list(tmp_path.glob("*.json"))) == 1
+
+
+def test_cli_shrinks_a_seed_into_a_fixture(tmp_path, capsys):
+    code = main(
+        [
+            str(FAILING_SEED),
+            "--partitions",
+            "--autoscaler",
+            "--planted-bug",
+            "dedup_off",
+            "--budget",
+            "30",
+            "--out",
+            str(tmp_path),
+        ]
+    )
+    assert code == 0
+    written = list(tmp_path.glob("*.json"))
+    assert len(written) == 1
+    fixture = json.loads(written[0].read_text())
+    assert fixture["kind"] == "chaos_regression"
+    assert fixture["failure"] == "upload_conservation"
+    assert "upload_conservation" in capsys.readouterr().out
+
+
+def test_cli_reports_no_failure_found(tmp_path, capsys):
+    code = main(
+        [
+            str(PASSING_SEED),
+            "--partitions",
+            "--autoscaler",
+            "--planted-bug",
+            "dedup_off",
+            "--budget",
+            "3",
+            "--out",
+            str(tmp_path),
+        ]
+    )
+    assert code == 2
+    assert "no failure found" in capsys.readouterr().out
+    assert not list(tmp_path.glob("*.json"))
