@@ -109,6 +109,18 @@ from repro.core.autoscaling import (
     ScalingEvent,
     AutoscaleController,
 )
+from repro.core.federation import (
+    Federation,
+    Region,
+    RegionSpec,
+    RegionSelector,
+    NearestLatencySelector,
+    CheapestSelector,
+    LeastLoadedSelector,
+    StickyFailoverSelector,
+    SELECTORS,
+    build_selector,
+)
 from repro.core.fleet import CameraSpec, FleetCameraResult, FleetResult, FleetSession
 from repro.core.strategies import (
     Strategy,
@@ -197,6 +209,16 @@ __all__ = [
     "build_autoscaler",
     "ScalingEvent",
     "AutoscaleController",
+    "Federation",
+    "Region",
+    "RegionSpec",
+    "RegionSelector",
+    "NearestLatencySelector",
+    "CheapestSelector",
+    "LeastLoadedSelector",
+    "StickyFailoverSelector",
+    "SELECTORS",
+    "build_selector",
     "CameraSpec",
     "FleetSession",
     "FleetCameraResult",

@@ -76,6 +76,8 @@ from repro.runtime.events import (
     LabelsReady,
     LinkPartitionEvent,
     ModelDownloadComplete,
+    RegionOutageEvent,
+    ReplicationTick,
     RetryTimer,
     RevocationEvent,
     TrainingDone,
@@ -174,10 +176,14 @@ class InstantTransport:
         )
 
     # delivery hooks: nothing in flight to retire for the instant transport
-    def uplink_delivered(self, scheduler: EventScheduler, now: float) -> None:
+    def uplink_delivered(
+        self, scheduler: EventScheduler, now: float, event: Event | None = None
+    ) -> None:
         """No-op: instant uploads have nothing in flight to retire."""
 
-    def downlink_delivered(self, scheduler: EventScheduler, now: float) -> None:
+    def downlink_delivered(
+        self, scheduler: EventScheduler, now: float, event: Event | None = None
+    ) -> None:
         """No-op: instant downloads have nothing in flight to retire."""
 
 
@@ -248,15 +254,24 @@ class SharedLinkTransport:
         self._sync_downlink(scheduler, now)
 
     # -- delivery ------------------------------------------------------------
-    def uplink_delivered(self, scheduler: EventScheduler, now: float) -> None:
-        """Retire the finished uplink transfer and re-project the next one."""
+    def uplink_delivered(
+        self, scheduler: EventScheduler, now: float, event: Event | None = None
+    ) -> None:
+        """Retire the finished uplink transfer and re-project the next one.
+
+        ``event`` is the delivery event being handled — unused here (one
+        link means one pending transfer), but a federated transport
+        routes on it to find which region's uplink just finished.
+        """
         if self._pending_up is not None:
             _, transfer = self._pending_up
             self._pending_up = None
             self.link.retire(transfer, now)
         self._sync_uplink(scheduler, now)
 
-    def downlink_delivered(self, scheduler: EventScheduler, now: float) -> None:
+    def downlink_delivered(
+        self, scheduler: EventScheduler, now: float, event: Event | None = None
+    ) -> None:
         """Retire the finished downlink transfer and re-project the next one."""
         if self._pending_down is not None:
             _, transfer = self._pending_down
@@ -421,6 +436,13 @@ class CloudActor:
         #: handle on the busy period's scheduled completion, so a spot
         #: revocation can kill the period mid-flight (None while idle)
         self.pending_completion: LabelingDone | None = None
+        #: every scheduled-but-undelivered completion this worker armed.
+        #: ``pending_completion`` can be overwritten when a handoff (or
+        #: merged batch) starts a new busy period at the exact instant
+        #: the previous one ends, before its LabelingDone dispatches —
+        #: benign on a single cluster (events route by worker id) but a
+        #: federation routes by event identity, so it needs the full set
+        self.armed_completions: list[LabelingDone] = []
         #: labeling jobs in completion order (queue-delay statistics)
         self.completed_jobs: list[GpuJob] = []
         #: completed busy periods that served >= 1 labeling job — an O(1)
@@ -590,6 +612,9 @@ class CloudActor:
         """Finish a busy period: send labels / trained weights back, restart."""
         if self.pending_completion is event:
             self.pending_completion = None
+        self.armed_completions = [
+            armed for armed in self.armed_completions if armed is not event
+        ]
         served_labeling = False
         for job in event.jobs:
             job.completion = event.time
@@ -771,6 +796,7 @@ class CloudActor:
         self.pending_completion = scheduler.schedule(
             LabelingDone(time=self.busy_until, jobs=jobs, worker_id=self.worker_id)
         )
+        self.armed_completions.append(self.pending_completion)
 
     def preempt(
         self, now: float, scheduler: EventScheduler, mode: str
@@ -805,6 +831,9 @@ class CloudActor:
         done = self.pending_completion
         scheduler.cancel(done)
         self.pending_completion = None
+        self.armed_completions = [
+            armed for armed in self.armed_completions if armed is not done
+        ]
         jobs = list(done.jobs)
         start = min(job.service_start for job in jobs)
         total_wall = self.busy_until - start
@@ -1127,6 +1156,8 @@ class SessionKernel:
             WorkerCrashEvent: self._handle_crash,
             LinkPartitionEvent: self._handle_link_partition,
             RetryTimer: self._handle_retry_timer,
+            RegionOutageEvent: self._handle_region_outage,
+            ReplicationTick: self._handle_replication_tick,
         }
 
     def _schedule_next_frame(self, camera_id: int) -> None:
@@ -1177,7 +1208,7 @@ class SessionKernel:
     def _handle_upload(self, event: UploadComplete) -> None:
         # the transfer is retired (and the pipe re-projected) even when
         # dedup drops the delivery: the duplicate's bits really crossed
-        self.transport.uplink_delivered(self.scheduler, event.time)
+        self.transport.uplink_delivered(self.scheduler, event.time, event=event)
         if self.channel is not None and not self.channel.accept(
             event.message_id, self.scheduler
         ):
@@ -1188,7 +1219,7 @@ class SessionKernel:
         self.cloud_actor.on_labeling_done(event, self.scheduler)
 
     def _handle_labels(self, event: LabelsReady) -> None:
-        self.transport.downlink_delivered(self.scheduler, event.time)
+        self.transport.downlink_delivered(self.scheduler, event.time, event=event)
         if self.channel is not None and not self.channel.accept(
             event.message_id, self.scheduler
         ):
@@ -1198,7 +1229,7 @@ class SessionKernel:
         )
 
     def _handle_model_download(self, event: ModelDownloadComplete) -> None:
-        self.transport.downlink_delivered(self.scheduler, event.time)
+        self.transport.downlink_delivered(self.scheduler, event.time, event=event)
         if self.channel is not None and not self.channel.accept(
             event.message_id, self.scheduler
         ):
@@ -1244,6 +1275,12 @@ class SessionKernel:
         # cancels them (nothing can complete while partitioned), a heal
         # reschedules them from the transfers' preserved remaining bits
         transport = self.transport
+        on_partition = getattr(transport, "on_partition", None)
+        if on_partition is not None:
+            # federated transport: the event's camera_id tags the region
+            # whose WAN link partitions
+            on_partition(event, self.scheduler)
+            return
         link = getattr(transport, "link", None)
         begin = getattr(link, "begin_partition", None)
         if begin is None:
@@ -1265,3 +1302,25 @@ class SessionKernel:
                 "to this kernel"
             )
         self.channel.on_timer(event, self.scheduler)
+
+    def _handle_region_outage(self, event: "RegionOutageEvent") -> None:
+        # only federated sessions schedule these; the federation cuts
+        # (or heals) the tagged region and fails cameras over
+        on_region_outage = getattr(self.cloud_actor, "on_region_outage", None)
+        if on_region_outage is None:
+            raise TypeError(
+                "RegionOutageEvent scheduled but this kernel's cloud actor "
+                "is not a federation"
+            )
+        on_region_outage(event, self.scheduler)
+
+    def _handle_replication_tick(self, event: "ReplicationTick") -> None:
+        # only federated sessions schedule these; the federation
+        # snapshots per-tenant student weights across regions
+        on_replication_tick = getattr(self.cloud_actor, "on_replication_tick", None)
+        if on_replication_tick is None:
+            raise TypeError(
+                "ReplicationTick scheduled but this kernel's cloud actor "
+                "is not a federation"
+            )
+        on_replication_tick(event, self.scheduler)

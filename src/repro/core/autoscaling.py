@@ -491,6 +491,11 @@ class AutoscaleController:
         self.horizon = horizon
         self.events: list[ScalingEvent] = []
         self.signals: list[AutoscaleSignal] = []
+        #: the tick event currently queued for this controller (None
+        #: when no more ticks are scheduled) — identity handle the
+        #: federation uses to route a popped AutoscaleTick back to the
+        #: region controller that armed it
+        self.pending_tick: AutoscaleTick | None = None
         self._last_sample_time = 0.0
         self._last_busy_by_worker: dict[int, float] = {}
         #: per-worker busy credit charged at busy-period start but not
@@ -512,7 +517,7 @@ class AutoscaleController:
             return
         first = self.policy.interval_seconds
         if first <= self.horizon + 1e-9:
-            scheduler.schedule(AutoscaleTick(time=first))
+            self.pending_tick = scheduler.schedule(AutoscaleTick(time=first))
 
     # -- signal --------------------------------------------------------------
     def _window_waits(self, now: float) -> list[float]:
@@ -593,7 +598,24 @@ class AutoscaleController:
             self.policy.note_scaled(now)
         next_tick = now + self.policy.interval_seconds
         if next_tick <= self.horizon + 1e-9:
-            scheduler.schedule(AutoscaleTick(time=next_tick))
+            self.pending_tick = scheduler.schedule(AutoscaleTick(time=next_tick))
+        else:
+            self.pending_tick = None
+
+    def skip_tick(self, event: AutoscaleTick, scheduler: EventScheduler) -> None:
+        """Consume a tick without sampling or acting, keeping the train alive.
+
+        The federation suppresses autoscaling while its region is torn
+        down by an outage — a policy acting on an empty cluster would
+        resurrect capacity mid-outage (or crash scaling in below one
+        worker) — but the next tick is still scheduled so the
+        controller resumes sampling the moment the region heals.
+        """
+        next_tick = event.time + self.policy.interval_seconds
+        if next_tick <= self.horizon + 1e-9:
+            self.pending_tick = scheduler.schedule(AutoscaleTick(time=next_tick))
+        else:
+            self.pending_tick = None
 
     def _scale_out(self, count: int, signal: AutoscaleSignal, now: float) -> None:
         for _ in range(count):

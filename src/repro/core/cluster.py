@@ -277,6 +277,12 @@ class CloudCluster:
         self.num_crash_recovered_jobs = 0
         #: wall-clock GPU work crashes threw away (relabel recovery only)
         self.crash_wasted_gpu_seconds = 0.0
+        #: wall-clock GPU work a whole-region outage threw away (kept
+        #: separate from the crash/revocation counters so the fault
+        #: invariants tying those to their logs stay exact)
+        self.outage_wasted_gpu_seconds = 0.0
+        #: region outages that tore this cluster down (federation)
+        self.num_outages = 0
         #: the fault plan armed by :meth:`start_faults` (None = no faults)
         self._fault_plan: FaultPlan | None = None
         #: the event scheduler of the running fleet (set by
@@ -913,6 +919,99 @@ class CloudCluster:
         for time, draw in plan.draw_crash_times(horizon):
             scheduler.schedule(WorkerCrashEvent(time=time, victim_draw=draw))
 
+    def arm_faults(self, plan: FaultPlan) -> None:
+        """Arm a fault plan without scheduling its crash process.
+
+        The federation schedules one *global* crash process and routes
+        each draw to the owning region's cluster (see
+        :meth:`~repro.core.federation.Federation.on_crash`); the cluster
+        still needs the plan armed so :meth:`on_crash` knows the
+        recovery mode.
+        """
+        self._fault_plan = plan
+
+    def fail_all_workers(
+        self, now: float, scheduler: EventScheduler, mode: str = "relabel"
+    ) -> tuple[list[GpuJob], list[WorkerSpec]]:
+        """Region-outage teardown: stop every working GPU, return orphans.
+
+        A whole-region outage (federation) differs from both a spot
+        revocation and a single-worker crash: *every* worker still
+        burning GPU cycles stops at once, no replacement is provisioned
+        here (the region is down — the federation re-places the orphans
+        in a healthy region and re-provisions on heal), and none of the
+        crash/revocation counters or logs are touched — the fault
+        invariants tie those exactly to their own events.  In-flight
+        busy periods are killed under ``mode`` (``"relabel"`` redoes
+        them and books the elapsed work as
+        ``outage_wasted_gpu_seconds``); queued jobs, recovered jobs and
+        the cluster batcher's *forming* batch — jobs admitted but not
+        yet on any worker's queue — are all returned as orphans for the
+        caller to re-place, so no upload is silently dropped.  Capacity
+        stops charging at the outage instant: a draining worker's
+        future retirement stamp is superseded exactly as a crash would.
+        Worker ids stay append-only; :meth:`add_worker` re-grows the
+        region on heal from the returned torn-down specs.
+        """
+        orphans: list[GpuJob] = []
+        specs: list[WorkerSpec] = []
+        for worker in self.workers:
+            if worker.crashed or worker.revoked:
+                continue
+            still_working = (
+                worker.retired_at is None
+                or worker.busy_until > now + 1e-12
+                or worker.queue
+            )
+            if not still_working:
+                continue
+            recovered, wasted = worker.preempt(now, scheduler, mode)
+            self.outage_wasted_gpu_seconds += wasted
+            orphans.extend(recovered)
+            orphans.extend(worker.queue)
+            worker.queue = deque()
+            # only capacity that was still *placeable* is re-provisioned
+            # on heal — a drain tail was leaving the cluster anyway
+            if not worker.draining:
+                specs.append(worker.spec)
+            worker.draining = True
+            if worker.retired_at is not None:
+                self._provision_log.remove((worker.retired_at, -1))
+            worker.retired_at = now
+            self._provision_log.append((now, -1))
+        if self.batcher is not None:
+            orphans.extend(self.batcher.pending)
+            self.batcher.pending.clear()
+            if self.batcher._timer is not None:
+                scheduler.cancel(self.batcher._timer)
+                self.batcher._timer = None
+            self.batcher._generation += 1
+        self.num_outages += 1
+        return orphans, specs
+
+    def crash_eligible(self, now: float) -> list[CloudActor]:
+        """Workers a crash draw may hit at ``now``, in worker-id order.
+
+        Active workers, plus draining ones still finishing — a fully
+        retired drain (nothing in flight, nothing queued) cannot crash,
+        and neither can an already-crashed or revoked worker.  In runs
+        that never drain (no autoscaler, no removals) this is exactly
+        the active set, preserving the historical draw.  The federation
+        concatenates these per-region lists (region order) to reduce a
+        *global* crash draw.
+        """
+        return [
+            worker
+            for worker in self.workers
+            if not worker.crashed
+            and not worker.revoked
+            and (
+                not worker.draining
+                or worker.busy_until > now + 1e-12
+                or worker.queue
+            )
+        ]
+
     def on_crash(self, event: WorkerCrashEvent, scheduler: EventScheduler) -> None:
         """A worker process died mid-handler: supervise and recover.
 
@@ -959,22 +1058,7 @@ class CloudCluster:
         if self._fault_plan is None:
             raise RuntimeError("on_crash fired without an armed fault plan")
         now = event.time
-        # active workers, plus draining ones still finishing — a fully
-        # retired drain (nothing in flight, nothing queued) cannot
-        # crash, and neither can an already-crashed or revoked worker.
-        # In runs that never drain (no autoscaler, no removals) this is
-        # exactly the active set, preserving the historical draw.
-        eligible = [
-            worker
-            for worker in self.workers
-            if not worker.crashed
-            and not worker.revoked
-            and (
-                not worker.draining
-                or worker.busy_until > now + 1e-12
-                or worker.queue
-            )
-        ]
+        eligible = self.crash_eligible(now)
         if not eligible:
             return
         victim = eligible[event.victim_draw % len(eligible)]

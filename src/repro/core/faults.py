@@ -42,13 +42,21 @@ from typing import Callable
 import numpy as np
 
 from repro.core.actors import EdgeActor, SharedLinkTransport
-from repro.network.link import LinkConfig, LinkTransfer, SharedLink, _SharedPipe
+from repro.network.link import (
+    LinkConfig,
+    LinkTransfer,
+    SharedLink,
+    WanProfile,
+    _SharedPipe,
+    _WanAccounting,
+)
 from repro.network.messages import LabelDownload, Message, ModelDownload
 from repro.runtime.events import EventScheduler, RetryTimer
 
 __all__ = [
     "FaultPlan",
     "FaultySharedLink",
+    "FaultyRegionLink",
     "ReliableChannel",
     "ReliableTransport",
     "CrashRecord",
@@ -65,7 +73,10 @@ __all__ = [
 #: explicitly adds a flag, and fixtures record which flag they need so
 #: regressions replay "green as red".  Currently understood flags:
 #: ``"dedup_off"`` — the reliable channel's receiver-side dedup stops
-#: dropping duplicate deliveries, breaking exactly-once conservation.
+#: dropping duplicate deliveries, breaking exactly-once conservation;
+#: ``"outage_handoff_off"`` — a failing-over federation region drops its
+#: orphaned in-flight/queued jobs instead of re-placing them on healthy
+#: regions, breaking upload conservation across migrations.
 PLANTED_BUGS: set[str] = set()
 
 #: the three edge<->cloud message kinds the reliable channel tracks
@@ -110,6 +121,8 @@ class FaultPlan:
         crash_recovery: str = "checkpoint",
         mean_time_between_partitions: float | None = None,
         mean_partition_seconds: float = 1.0,
+        mean_time_between_region_outages: float | None = None,
+        mean_region_outage_seconds: float = 2.0,
     ) -> None:
         for label, rate in (
             ("loss_rate", loss_rate),
@@ -157,6 +170,19 @@ class FaultPlan:
             raise ValueError(
                 f"mean_partition_seconds must be positive, got {mean_partition_seconds}"
             )
+        if (
+            mean_time_between_region_outages is not None
+            and mean_time_between_region_outages <= 0
+        ):
+            raise ValueError(
+                "mean_time_between_region_outages must be positive (or None "
+                f"for no region outages), got {mean_time_between_region_outages}"
+            )
+        if mean_region_outage_seconds <= 0:
+            raise ValueError(
+                "mean_region_outage_seconds must be positive, got "
+                f"{mean_region_outage_seconds}"
+            )
         self.seed = seed
         self.loss_rate = loss_rate
         self.duplicate_rate = duplicate_rate
@@ -169,6 +195,8 @@ class FaultPlan:
         self.crash_recovery = crash_recovery
         self.mean_time_between_partitions = mean_time_between_partitions
         self.mean_partition_seconds = mean_partition_seconds
+        self.mean_time_between_region_outages = mean_time_between_region_outages
+        self.mean_region_outage_seconds = mean_region_outage_seconds
         self.reset()
 
     def reset(self) -> None:
@@ -240,6 +268,55 @@ class FaultPlan:
             start = end + float(rng.exponential(self.mean_time_between_partitions))
         return partitions
 
+    def draw_partitions_for_region(
+        self, horizon: float, region: int
+    ) -> list[tuple[float, float]]:
+        """Seeded per-region WAN partition schedule (federation runs).
+
+        Same Poisson cut/heal process as :meth:`draw_partitions` but from
+        a region-indexed RNG stream, so each region's WAN partitions
+        independently and adding a region never shifts another region's
+        schedule.  The single-link stream (:meth:`draw_partitions`) is
+        untouched, keeping pre-federation journals byte-identical.
+        """
+        if self.mean_time_between_partitions is None or horizon <= 0:
+            return []
+        rng = np.random.default_rng([self.seed, 3, region])
+        partitions: list[tuple[float, float]] = []
+        start = float(rng.exponential(self.mean_time_between_partitions))
+        while start <= horizon:
+            end = start + float(rng.exponential(self.mean_partition_seconds))
+            partitions.append((start, end))
+            start = end + float(rng.exponential(self.mean_time_between_partitions))
+        return partitions
+
+    def draw_region_outages(
+        self, horizon: float, num_regions: int
+    ) -> list[tuple[float, float, int]]:
+        """Seeded region-outage schedule: (cut, heal, region) triples.
+
+        A single global Poisson process (at most one region down at a
+        time, gaps measured heal-to-cut so outages never overlap) whose
+        each firing picks a uniform victim region.  Drawn from an RNG
+        stream independent of messages, crashes and WAN partitions, and
+        freshly seeded per call.  Heals past the horizon are kept so a
+        run never ends mid-outage.
+        """
+        if (
+            self.mean_time_between_region_outages is None
+            or horizon <= 0
+            or num_regions <= 0
+        ):
+            return []
+        rng = np.random.default_rng([self.seed, 4])
+        outages: list[tuple[float, float, int]] = []
+        start = float(rng.exponential(self.mean_time_between_region_outages))
+        while start <= horizon:
+            end = start + float(rng.exponential(self.mean_region_outage_seconds))
+            outages.append((start, end, int(rng.integers(num_regions))))
+            start = end + float(rng.exponential(self.mean_time_between_region_outages))
+        return outages
+
     @property
     def injects_message_faults(self) -> bool:
         """Whether any per-message fault has non-zero probability."""
@@ -249,6 +326,11 @@ class FaultPlan:
     def injects_partitions(self) -> bool:
         """Whether the plan schedules link partitions at all."""
         return self.mean_time_between_partitions is not None
+
+    @property
+    def injects_region_outages(self) -> bool:
+        """Whether the plan schedules whole-region outages at all."""
+        return self.mean_time_between_region_outages is not None
 
     def fingerprint(self) -> dict:
         """JSON-ready parameter summary (journaled into the run's meta).
@@ -276,6 +358,13 @@ class FaultPlan:
                 self.mean_time_between_partitions
             )
             fingerprint["mean_partition_seconds"] = self.mean_partition_seconds
+        if self.injects_region_outages:
+            fingerprint["mean_time_between_region_outages"] = (
+                self.mean_time_between_region_outages
+            )
+            fingerprint["mean_region_outage_seconds"] = (
+                self.mean_region_outage_seconds
+            )
         return fingerprint
 
     def describe(self) -> str:
@@ -291,10 +380,16 @@ class FaultPlan:
             if self.injects_partitions
             else ""
         )
+        outages = (
+            f" mtbo={self.mean_time_between_region_outages:g}s"
+            f"/{self.mean_region_outage_seconds:g}s"
+            if self.injects_region_outages
+            else ""
+        )
         return (
             f"seed={self.seed} loss={self.loss_rate:g} "
             f"dup={self.duplicate_rate:g} delay={self.delay_rate:g}"
-            f"{crashes}{partitions}"
+            f"{crashes}{partitions}{outages}"
         )
 
 
@@ -411,6 +506,23 @@ class FaultySharedLink(SharedLink):
             )
             pipe.add(duplicate, now)
         return transfer
+
+
+class FaultyRegionLink(_WanAccounting, FaultySharedLink):
+    """A region's WAN link with both egress billing and message faults.
+
+    The federation's per-region counterpart of
+    :class:`FaultySharedLink`: bytes are billed per send attempt *before*
+    the fault verdict is drawn (a lost message still crossed the
+    sender's WAN egress), and every verdict comes from the shared
+    :class:`FaultPlan` message stream, so chaos runs stay replayable.
+    """
+
+    profile: WanProfile
+
+    def __init__(self, profile: WanProfile | None, plan: FaultPlan) -> None:
+        self.profile = profile or WanProfile()
+        super().__init__(self.profile.link_config(), plan)
 
 
 @dataclass

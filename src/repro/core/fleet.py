@@ -58,6 +58,7 @@ from repro.core.faults import (
     ReliableChannel,
     ReliableTransport,
 )
+from repro.core.federation import Federation, RegionSelector, RegionSpec
 from repro.core.sampling import SamplingRateController
 from repro.core.scheduling import PlacementPolicy, WorkerSpec, jain_fairness
 from repro.core.session import SessionOptions, SessionResult, resolve_session_config
@@ -68,7 +69,13 @@ from repro.network.link import LinkConfig, SharedLink
 from repro.runtime.device import CloudComputeModel, EdgeComputeModel
 from repro.runtime.journal import stable_digest
 from repro.runtime.metrics import reduce_metric
-from repro.runtime.events import EventScheduler, LinkPartitionEvent
+from repro.runtime.events import (
+    EventScheduler,
+    LinkPartitionEvent,
+    RegionOutageEvent,
+    ReplicationTick,
+    WorkerCrashEvent,
+)
 from repro.video.datasets import DatasetSpec
 from repro.video.encoding import H264Encoder
 from repro.video.stream import VideoStream
@@ -219,6 +226,22 @@ class FleetResult:
     #: frames that received teacher labels via the queued GPU path (the
     #: serving-throughput numerator: labels/sec = this / busy seconds)
     num_labeled_frames: int = 0
+    #: per-region metrics dicts, in region-index order — empty for
+    #: single-cluster runs AND for the degenerate 1-region federation
+    #: (whose result is pinned bit-for-bit to the plain run)
+    region_metrics: list[dict] = field(default_factory=list)
+    #: which region-homing policy placed the cameras ("" = no federation)
+    region_selector: str = ""
+    #: cameras moved between regions (failover + heal re-homing)
+    num_region_migrations: int = 0
+    #: orphaned jobs handed off across regions by outage failover
+    num_region_job_handoffs: int = 0
+    #: region outage cuts that hit (failover or partition-only)
+    num_region_outages: int = 0
+    #: bytes that crossed any region's WAN (sends, retries, replication)
+    wan_bytes: float = 0.0
+    #: WAN egress spend; ``dollar_cost`` includes it for federated runs
+    wan_dollar_cost: float = 0.0
 
     @property
     def num_crashes(self) -> int:
@@ -302,6 +325,16 @@ class FleetResult:
                 for entry in self.cameras
             ],
         }
+        if self.region_metrics:
+            # federated runs only: absent keys keep every pre-federation
+            # (and degenerate 1-region) fingerprint byte-identical
+            payload["region_metrics"] = list(self.region_metrics)
+            payload["region_selector"] = self.region_selector
+            payload["num_region_migrations"] = self.num_region_migrations
+            payload["num_region_job_handoffs"] = self.num_region_job_handoffs
+            payload["num_region_outages"] = self.num_region_outages
+            payload["wan_bytes"] = self.wan_bytes
+            payload["wan_dollar_cost"] = self.wan_dollar_cost
         return stable_digest(payload, length=64)
 
     @property
@@ -550,6 +583,11 @@ class FleetSession:
         revocation_mode: str = "relabel",
         faults: FaultPlan | None = None,
         batching: "FleetBatcher | BatchPolicy | str | None" = None,
+        regions: list[RegionSpec] | None = None,
+        region_selector: "RegionSelector | str | None" = None,
+        region_outages: list[tuple[float, float, int]] | None = None,
+        replication_interval_seconds: float | None = None,
+        failover: bool = True,
     ) -> None:
         if not cameras:
             raise ValueError("a fleet needs at least one camera")
@@ -557,7 +595,90 @@ class FleetSession:
         duplicates = sorted({name for name in names if names.count(name) > 1})
         if duplicates:
             raise ValueError(f"camera names must be unique, duplicated: {duplicates}")
-        if cluster is not None:
+        self.federation: Federation | None = None
+        self._degenerate = False
+        self._scripted_region_outages: list[tuple[float, float, int]] = []
+        if regions is None:
+            if (
+                region_selector is not None
+                or region_outages
+                or replication_interval_seconds is not None
+            ):
+                raise ValueError(
+                    "region_selector / region_outages / "
+                    "replication_interval_seconds require regions=[...]"
+                )
+        else:
+            if (
+                cluster is not None
+                or scheduler is not None
+                or placement is not None
+                or num_gpus != 1
+                or worker_specs is not None
+                or revocations is not None
+                or revocation_mode != "relabel"
+                or batching is not None
+                or autoscaler is not None
+                or link is not None
+                or link_config is not None
+            ):
+                raise ValueError(
+                    "with regions=[...] the cluster/link knobs live on each "
+                    "RegionSpec; pass neither a ready cluster/link nor the "
+                    "scheduler/num_gpus/placement/worker_specs/revocations/"
+                    "revocation_mode/batching/autoscaler/link_config arguments "
+                    "(spot revocations are not supported under a federation)"
+                )
+            for entry in region_outages or []:
+                start, end, index = entry
+                if not 0 <= int(index) < len(regions):
+                    raise ValueError(
+                        f"region outage {entry!r} names region {index} of "
+                        f"{len(regions)}"
+                    )
+                if not float(start) < float(end):
+                    raise ValueError(
+                        f"region outage {entry!r} must cut strictly before it "
+                        "heals"
+                    )
+                self._scripted_region_outages.append(
+                    (float(start), float(end), int(index))
+                )
+            self.federation = Federation(
+                regions,
+                selector=region_selector,
+                faults=faults,
+                failover=failover,
+                replication_interval_seconds=replication_interval_seconds,
+            )
+            if (
+                faults is not None
+                and faults.mean_time_between_crashes is not None
+                and any(
+                    not region.cluster.can_grow
+                    for region in self.federation.regions
+                )
+            ):
+                raise ValueError(
+                    "a fault plan with crashes must be able to provision "
+                    "replacement workers in every region; construct each "
+                    "RegionSpec with a scheduler policy name or a zero-arg "
+                    "factory, not a single GpuScheduler instance"
+                )
+            # a degenerate federation — one region, zero-priced WAN, no
+            # outage process, no replication — is pinned bit-for-bit
+            # (fingerprint AND journal bytes) to the plain single-cluster
+            # run; the golden-pin tests hold this contract
+            self._degenerate = (
+                len(regions) == 1
+                and self.federation.regions[0].wan.cost_per_gb == 0.0
+                and not self._scripted_region_outages
+                and (faults is None or not faults.injects_region_outages)
+                and replication_interval_seconds is None
+            )
+        if self.federation is not None:
+            self.cluster = None
+        elif cluster is not None:
             if (
                 scheduler is not None
                 or placement is not None
@@ -587,7 +708,8 @@ class FleetSession:
         # kill may need an emergency worker, which a cluster built
         # around one ready GpuScheduler instance cannot mint
         if (
-            self.cluster.revocations is not None
+            self.cluster is not None
+            and self.cluster.revocations is not None
             and any(spec.preemptible for spec in self.cluster.worker_specs)
             and not self.cluster.can_grow
         ):
@@ -597,12 +719,15 @@ class FleetSession:
                 "scheduler policy name or a zero-arg factory, not a single "
                 "GpuScheduler instance"
             )
-        self.autoscaler = build_autoscaler(autoscaler)
+        self.autoscaler = None if self.federation is not None else build_autoscaler(
+            autoscaler
+        )
         # fail now, not minutes into the run at the first scale-out: a
         # cluster built around one ready GpuScheduler instance has no
         # recipe for the schedulers new workers would need
         if (
-            self.autoscaler.name != "none"
+            self.autoscaler is not None
+            and self.autoscaler.name != "none"
             and self.autoscaler.max_gpus > self.cluster.num_gpus
             and not self.cluster.can_grow
         ):
@@ -616,7 +741,8 @@ class FleetSession:
         # reach the floor — so a floor above the starting size would
         # silently never hold; demand the operator start at the floor
         if (
-            self.autoscaler.name != "none"
+            self.autoscaler is not None
+            and self.autoscaler.name != "none"
             and self.autoscaler.min_gpus > self.cluster.num_gpus
         ):
             raise ValueError(
@@ -635,6 +761,7 @@ class FleetSession:
         if (
             faults is not None
             and faults.mean_time_between_crashes is not None
+            and self.cluster is not None
             and not self.cluster.can_grow
         ):
             raise ValueError(
@@ -648,7 +775,11 @@ class FleetSession:
         self.student = student
         self.teacher = teacher
         self.config = config or ShoggothConfig()
-        if faults is not None:
+        if self.federation is not None:
+            # region links were built inside the federation, one WAN
+            # profile each; there is no single fleet-wide link
+            self.link = None
+        elif faults is not None:
             self.link = FaultySharedLink(link_config, faults)
         else:
             self.link = link or SharedLink(link_config)
@@ -666,11 +797,25 @@ class FleetSession:
         self._ran = False
 
     # -- wiring ------------------------------------------------------------
+    @property
+    def clusters(self) -> list[CloudCluster]:
+        """Every cluster in the session, in region order (one if plain)."""
+        if self.federation is not None:
+            return [region.cluster for region in self.federation.regions]
+        return [self.cluster]
+
+    @property
+    def links(self) -> list:
+        """Every link in the session, in region order (one if plain)."""
+        if self.federation is not None:
+            return [region.link for region in self.federation.regions]
+        return [self.link]
+
     def _build_camera(
         self,
         camera_id: int,
         spec: CameraSpec,
-        cloud_actor: CloudCluster,
+        cloud_actor,
         transport: SharedLinkTransport,
     ) -> tuple[EdgeActor, "VideoStream"]:
         options = spec.resolve_options()
@@ -690,6 +835,11 @@ class FleetSession:
             seed=spec.seed,
         )
         stream = spec.dataset.build()
+        link_config = (
+            self.federation.regions[0].link.config
+            if self.federation is not None
+            else self.link.config
+        )
         actor = EdgeActor(
             camera_id=camera_id,
             edge=edge,
@@ -700,7 +850,7 @@ class FleetSession:
             encoder=H264Encoder(stream.renderer.nominal_pixels),
             transport=transport,
             dataset=spec.dataset,
-            link_config=self.link.config,
+            link_config=link_config,
             edge_compute=self.edge_compute,
         )
         cloud_actor.register_camera(
@@ -711,6 +861,11 @@ class FleetSession:
             replay_seed=self.replay_seed,
             weight=spec.weight,
         )
+        if self.federation is not None:
+            # link_config only feeds derived (counterfactual) traces, so
+            # re-pointing it at the camera's selected home region after
+            # registration changes no event timing
+            actor.link_config = self.federation.region_of(camera_id).link.config
         return actor, stream
 
     def _journal_meta(self) -> dict:
@@ -720,9 +875,19 @@ class FleetSession:
         a session whose configuration differs, and two runs can only
         produce byte-identical journals if they agree here first.
         """
+        if self.federation is not None:
+            # a degenerate federation must journal *exactly* the plain
+            # single-cluster header — source every field from region 0
+            meta_cluster = self.federation.regions[0].cluster
+            meta_link_config = self.federation.regions[0].link.config
+            autoscaler_name = self.federation.regions[0].autoscaler.name
+        else:
+            meta_cluster = self.cluster
+            meta_link_config = self.link.config
+            autoscaler_name = self.autoscaler.name
         revocations = None
-        if self.cluster.revocations is not None:
-            process = self.cluster.revocations
+        if meta_cluster.revocations is not None:
+            process = meta_cluster.revocations
             revocations = {
                 "scripted": process.scripted,
                 "seed": process.seed,
@@ -735,7 +900,7 @@ class FleetSession:
                     else [list(entry) for entry in process.trace]
                 ),
             }
-        return {
+        meta = {
             "kind": "fleet",
             "cameras": [
                 {
@@ -749,9 +914,9 @@ class FleetSession:
                 }
                 for spec in self.cameras
             ],
-            "scheduler": self.cluster.scheduler_name,
-            "placement": self.cluster.placement_name,
-            "num_gpus": self.cluster.num_gpus,
+            "scheduler": meta_cluster.scheduler_name,
+            "placement": meta_cluster.placement_name,
+            "num_gpus": meta_cluster.num_gpus,
             "worker_specs": [
                 {
                     "tier": spec.tier,
@@ -760,23 +925,34 @@ class FleetSession:
                     "preemptible": spec.preemptible,
                     "batch_scaling": spec.batch_scaling,
                 }
-                for spec in self.cluster.worker_specs
+                for spec in meta_cluster.worker_specs
             ],
             "batching": (
-                None if self.cluster.batcher is None else self.cluster.batcher.describe()
+                None if meta_cluster.batcher is None else meta_cluster.batcher.describe()
             ),
             "revocations": revocations,
-            "revocation_mode": self.cluster.revocation_mode,
-            "autoscaler": self.autoscaler.name,
+            "revocation_mode": meta_cluster.revocation_mode,
+            "autoscaler": autoscaler_name,
             "faults": None if self.faults is None else self.faults.fingerprint(),
             "batch_overhead_seconds": self.batch_overhead_seconds,
             "link": {
-                "uplink_kbps": self.link.config.uplink_kbps,
-                "downlink_kbps": self.link.config.downlink_kbps,
-                "rtt_seconds": self.link.config.rtt_seconds,
+                "uplink_kbps": meta_link_config.uplink_kbps,
+                "downlink_kbps": meta_link_config.downlink_kbps,
+                "rtt_seconds": meta_link_config.rtt_seconds,
             },
             "replay_seed": None if self.replay_seed is None else list(self.replay_seed),
         }
+        if self.federation is not None and not self._degenerate:
+            meta["regions"] = [region.describe() for region in self.federation.regions]
+            meta["selector"] = self.federation.selector.name
+            meta["failover"] = self.federation.failover
+            meta["replication_interval_seconds"] = (
+                self.federation.replication_interval_seconds
+            )
+            meta["region_outages"] = [
+                list(outage) for outage in self._scripted_region_outages
+            ]
+        return meta
 
     # -- execution ------------------------------------------------------------
     def run(self, journal: object | None = None) -> FleetResult:
@@ -798,6 +974,8 @@ class FleetSession:
         self._ran = True
         if journal is not None:
             journal.begin(self._journal_meta())
+        if self.federation is not None:
+            return self._run_federated(journal)
         channel = None
         scheduler = EventScheduler()
         if self.faults is not None:
@@ -941,6 +1119,240 @@ class FleetSession:
             num_labeled_frames=sum(
                 len(job.batch) for job in cluster.completed_jobs
             ),
+        )
+        if journal is not None:
+            journal.finish(result.fingerprint())
+        return result
+
+    def _run_federated(self, journal: object | None) -> FleetResult:
+        """Run the multi-region federation (see :mod:`repro.core.federation`).
+
+        A degenerate federation (one region, free WAN, no outages, no
+        replication) mirrors the plain path's scheduling order call for
+        call, so its journal and fingerprint are byte-identical to the
+        single-cluster run — the golden pin that keeps every
+        pre-federation result reproducible through this layer.
+        """
+        fed = self.federation
+        channel = None
+        scheduler = EventScheduler()
+        if self.faults is not None:
+            self.faults.reset()
+            channel = ReliableChannel(self.faults)
+        duration = max(
+            spec.dataset.num_frames / spec.dataset.fps for spec in self.cameras
+        )
+        fed.horizon = duration
+        # binds every region's cluster and starts its autoscale
+        # controller; the first tick (if any) keeps sequence number 0,
+        # exactly as in the plain path
+        fed.bind(
+            self.cloud,
+            channel,
+            batch_overhead_seconds=self.batch_overhead_seconds,
+            horizon=duration,
+            scheduler=scheduler,
+        )
+        edge_actors: dict[int, EdgeActor] = {}
+        streams = {}
+        for camera_id, spec in enumerate(self.cameras):
+            actor, stream = self._build_camera(camera_id, spec, fed, fed.transport)
+            edge_actors[camera_id] = actor
+            streams[camera_id] = iter(stream)
+        for region in fed.regions:
+            # no revocation process under federation (rejected at
+            # construction) — this only hands the cluster its scheduler
+            region.cluster.start_revocations(scheduler, horizon=duration)
+        if self.faults is not None:
+            # ONE global crash process — the federation routes each draw
+            # to the owning region so a single-region run schedules the
+            # identical event sequence the plain path would
+            for region in fed.regions:
+                region.cluster.arm_faults(self.faults)
+            for time, draw in self.faults.draw_crash_times(duration):
+                scheduler.schedule(WorkerCrashEvent(time=time, victim_draw=draw))
+            if fed.num_regions == 1:
+                # legacy stream + default camera tag: byte-identical
+                # journal records for the degenerate pin
+                for start, end in self.faults.draw_partitions(duration):
+                    scheduler.schedule(LinkPartitionEvent(time=start))
+                    scheduler.schedule(LinkPartitionEvent(time=end, healed=True))
+            else:
+                for region in fed.regions:
+                    pairs = self.faults.draw_partitions_for_region(
+                        duration, region.index
+                    )
+                    for start, end in pairs:
+                        scheduler.schedule(
+                            LinkPartitionEvent(time=start, camera_id=region.index)
+                        )
+                        scheduler.schedule(
+                            LinkPartitionEvent(
+                                time=end, healed=True, camera_id=region.index
+                            )
+                        )
+        outages = list(self._scripted_region_outages)
+        if self.faults is not None and self.faults.injects_region_outages:
+            outages.extend(
+                self.faults.draw_region_outages(duration, fed.num_regions)
+            )
+        for start, end, region_index in outages:
+            scheduler.schedule(RegionOutageEvent(time=start, region=region_index))
+            scheduler.schedule(
+                RegionOutageEvent(time=end, region=region_index, healed=True)
+            )
+        interval = fed.replication_interval_seconds
+        if interval is not None and interval <= duration + 1e-9:
+            scheduler.schedule(ReplicationTick(time=interval))
+        kernel = SessionKernel(
+            scheduler,
+            edge_actors=edge_actors,
+            cloud_actor=fed,
+            transport=fed.transport,
+            streams=streams,
+            autoscaler=fed,
+            channel=channel,
+            journal=journal,
+        )
+        kernel.run()
+
+        clusters = [region.cluster for region in fed.regions]
+        rejections: dict[int, int] = {}
+        migrations: dict[int, int] = {}
+        for cluster in clusters:
+            for camera_id, count in cluster.rejections_by_camera.items():
+                rejections[camera_id] = rejections.get(camera_id, 0) + count
+            for camera_id, count in cluster.migrations_by_camera.items():
+                migrations[camera_id] = migrations.get(camera_id, 0) + count
+        gpu_seconds = fed.gpu_seconds_by_camera()
+        camera_results = []
+        gpu_by_name: dict[str, float] = {}
+        for camera_id, spec in enumerate(self.cameras):
+            actor = edge_actors[camera_id]
+            gpu = gpu_seconds.get(camera_id, 0.0)
+            gpu_by_name[spec.name] = gpu
+            camera_results.append(
+                FleetCameraResult(
+                    camera=spec.name,
+                    session=actor.build_result(cloud_gpu_seconds=gpu),
+                    gpu_seconds=gpu,
+                    upload_latencies=list(actor.upload_latencies),
+                    rejected_uploads=rejections.get(camera_id, 0),
+                )
+            )
+        queue_waits = [wait for c in clusters for wait in c.queue_waits]
+        slo = fed.regions[0].autoscaler.slo_seconds
+        violations = (
+            int(np.count_nonzero(np.asarray(queue_waits) > slo)) / len(queue_waits)
+            if slo is not None and queue_waits
+            else 0.0
+        )
+        autoscaler_names = {region.autoscaler.name for region in fed.regions}
+        scaling_events = [
+            event
+            for region in fed.regions
+            if region.controller is not None
+            for event in region.controller.events
+        ]
+        scaling_events.sort(key=lambda event: event.time)
+        gpu_by_tier: dict[str, float] = {}
+        for cluster in clusters:
+            for tier, seconds in cluster.gpu_seconds_by_tier(duration).items():
+                gpu_by_tier[tier] = gpu_by_tier.get(tier, 0.0) + seconds
+        faulty_links = [
+            region.link
+            for region in fed.regions
+            if isinstance(region.link, FaultySharedLink)
+        ]
+        region_fields: dict = {}
+        if not self._degenerate:
+            # region telemetry gates the fingerprint's extra block, so a
+            # degenerate run (empty here) fingerprints exactly like the
+            # plain path
+            region_fields = {
+                "region_metrics": fed.region_metrics(duration),
+                "region_selector": fed.selector.name,
+                "num_region_migrations": fed.num_region_migrations,
+                "num_region_job_handoffs": fed.num_region_job_handoffs,
+                "num_region_outages": fed.num_region_outages,
+                "wan_bytes": fed.wan_bytes,
+                "wan_dollar_cost": fed.wan_dollar_cost(),
+            }
+        result = FleetResult(
+            cameras=camera_results,
+            queue_waits=queue_waits,
+            cloud_gpu_seconds=self.cloud.total_gpu_seconds,
+            cloud_busy_seconds=sum(c.busy_seconds for c in clusters),
+            duration_seconds=duration,
+            num_labeling_batches=sum(c.num_labeling_batches for c in clusters),
+            gpu_seconds_by_camera=gpu_by_name,
+            scheduler=clusters[0].scheduler_name,
+            training_waits=[wait for c in clusters for wait in c.training_waits],
+            num_gpus=sum(c.num_gpus for c in clusters),
+            placement=clusters[0].placement_name,
+            gpu_busy_by_worker=[
+                busy for c in clusters for busy in c.gpu_busy_by_worker
+            ],
+            migrations_by_camera={
+                spec.name: migrations.get(camera_id, 0)
+                for camera_id, spec in enumerate(self.cameras)
+            },
+            autoscaler=(
+                fed.regions[0].autoscaler.name
+                if len(autoscaler_names) == 1
+                else "mixed"
+            ),
+            scaling_events=scaling_events,
+            gpu_seconds_provisioned=sum(
+                c.provisioned_gpu_seconds(duration) for c in clusters
+            ),
+            slo_seconds=slo,
+            slo_violation_fraction=violations,
+            worker_specs=[spec for c in clusters for spec in c.worker_specs],
+            dollar_cost=fed.compute_dollar_cost(duration) + fed.wan_dollar_cost(),
+            gpu_seconds_by_tier=gpu_by_tier,
+            revocation_records=[rec for c in clusters for rec in c.revocation_log],
+            num_relabeled_jobs=sum(c.num_relabeled_jobs for c in clusters),
+            num_checkpoint_resumed_jobs=sum(
+                c.num_checkpoint_resumed_jobs for c in clusters
+            ),
+            wasted_gpu_seconds=sum(c.wasted_gpu_seconds for c in clusters),
+            fault_plan="none" if self.faults is None else self.faults.describe(),
+            crash_records=[rec for c in clusters for rec in c.crash_log],
+            num_crash_recovered_jobs=sum(
+                c.num_crash_recovered_jobs for c in clusters
+            ),
+            crash_wasted_gpu_seconds=sum(
+                c.crash_wasted_gpu_seconds for c in clusters
+            ),
+            num_lost_messages=sum(link.num_lost for link in faulty_links),
+            num_duplicated_messages=sum(
+                link.num_duplicated for link in faulty_links
+            ),
+            num_delayed_messages=sum(link.num_delayed for link in faulty_links),
+            num_retries=0 if channel is None else channel.num_retries,
+            num_duplicate_drops=0 if channel is None else channel.num_duplicate_drops,
+            num_late_drops=0 if channel is None else channel.num_late_drops,
+            num_messages_sent=0 if channel is None else channel.num_messages_sent,
+            num_messages_delivered=(
+                0 if channel is None else channel.num_messages_delivered
+            ),
+            num_messages_in_flight=0 if channel is None else channel.num_in_flight,
+            sends_by_kind={} if channel is None else dict(channel.sends_by_kind),
+            abandoned_by_kind=(
+                {} if channel is None else dict(channel.abandoned_by_kind)
+            ),
+            batching=clusters[0].batching_name,
+            num_merged_batches=sum(
+                c.batcher.num_batches for c in clusters if c.batcher is not None
+            ),
+            num_batched_jobs=sum(
+                c.batcher.num_batched_jobs for c in clusters if c.batcher is not None
+            ),
+            num_labeled_frames=sum(
+                len(job.batch) for c in clusters for job in c.completed_jobs
+            ),
+            **region_fields,
         )
         if journal is not None:
             journal.finish(result.fingerprint())

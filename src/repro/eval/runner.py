@@ -12,6 +12,7 @@ from repro.core.batching import BatchPolicy, FleetBatcher
 from repro.core.cluster import CloudCluster, RevocationProcess, SchedulerSpec
 from repro.core.config import ShoggothConfig
 from repro.core.faults import FaultPlan
+from repro.core.federation import RegionSelector, RegionSpec
 from repro.core.fleet import CameraSpec, FleetResult, FleetSession
 from repro.core.scheduling import PlacementPolicy, WorkerSpec
 from repro.core.session import SessionResult
@@ -375,6 +376,11 @@ def run_fleet(
     faults: FaultPlan | None = None,
     batching: FleetBatcher | BatchPolicy | str | None = None,
     journal: object | None = None,
+    regions: "list[RegionSpec] | None" = None,
+    region_selector: "RegionSelector | str | None" = None,
+    region_outages: list[tuple[float, float, int]] | None = None,
+    replication_interval_seconds: float | None = None,
+    failover: bool = True,
 ) -> FleetRunResult:
     """Run N cameras against one shared cloud/link and score each stream.
 
@@ -403,7 +409,13 @@ def run_fleet(
     :data:`~repro.core.batching.BATCH_POLICIES` or a ready
     :class:`~repro.core.batching.FleetBatcher`) coalesces labeling
     jobs into cluster-wide teacher batches, which
-    ``benchmarks/bench_serving_throughput.py`` measures; and
+    ``benchmarks/bench_serving_throughput.py`` measures; ``regions``
+    (a list of :class:`~repro.core.federation.RegionSpec`, plus
+    ``region_selector`` / ``region_outages`` /
+    ``replication_interval_seconds`` / ``failover``) federates the
+    cloud across WAN-profiled regions with cross-region failover,
+    which ``benchmarks/bench_federation.py`` measures — see
+    ``docs/federation.md``; and
     ``journal`` records the run into an
     :class:`~repro.runtime.journal.EventJournal` for determinism
     checks and replay.  Exporting ``REPRO_PROFILE=1`` wraps the
@@ -439,6 +451,11 @@ def run_fleet(
         revocation_mode=revocation_mode,
         faults=faults,
         batching=batching,
+        regions=regions,
+        region_selector=region_selector,
+        region_outages=region_outages,
+        replication_interval_seconds=replication_interval_seconds,
+        failover=failover,
     )
     with _maybe_profile():
         outcome = fleet.run(journal=journal)

@@ -15,7 +15,14 @@ from typing import Any
 
 from repro.network.messages import Message
 
-__all__ = ["LinkConfig", "NetworkLink", "SharedLink", "LinkTransfer"]
+__all__ = [
+    "LinkConfig",
+    "NetworkLink",
+    "SharedLink",
+    "LinkTransfer",
+    "WanProfile",
+    "RegionLink",
+]
 
 
 @dataclass(frozen=True)
@@ -31,6 +38,48 @@ class LinkConfig:
             raise ValueError("link capacities must be positive")
         if self.rtt_seconds < 0:
             raise ValueError("rtt must be non-negative")
+
+
+@dataclass(frozen=True)
+class WanProfile:
+    """WAN characteristics of one federation region's edge-cloud path.
+
+    Extends the in-region :class:`LinkConfig` shape with a dollar price
+    per gigabyte crossed, so region selectors can trade latency against
+    egress cost.  ``cost_per_gb=0`` makes the WAN free — the degenerate
+    profile used by the single-cluster golden pin.
+    """
+
+    uplink_kbps: float = 10_000.0
+    downlink_kbps: float = 20_000.0
+    rtt_seconds: float = 0.04
+    #: dollars per gigabyte crossing the WAN (either direction)
+    cost_per_gb: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.uplink_kbps <= 0 or self.downlink_kbps <= 0:
+            raise ValueError("WAN capacities must be positive")
+        if self.rtt_seconds < 0:
+            raise ValueError("WAN rtt must be non-negative")
+        if self.cost_per_gb < 0:
+            raise ValueError("WAN cost_per_gb must be non-negative")
+
+    def link_config(self) -> LinkConfig:
+        """The :class:`LinkConfig` this profile's pipes are built from."""
+        return LinkConfig(
+            uplink_kbps=self.uplink_kbps,
+            downlink_kbps=self.downlink_kbps,
+            rtt_seconds=self.rtt_seconds,
+        )
+
+    def fingerprint(self) -> dict:
+        """JSON-ready parameter summary (journaled into federation meta)."""
+        return {
+            "uplink_kbps": self.uplink_kbps,
+            "downlink_kbps": self.downlink_kbps,
+            "rtt_seconds": self.rtt_seconds,
+            "cost_per_gb": self.cost_per_gb,
+        }
 
 
 class NetworkLink:
@@ -314,3 +363,70 @@ class SharedLink:
     @property
     def active_downlinks(self) -> int:
         return self._down.active_count
+
+
+class _WanAccounting:
+    """Mixin counting bytes per send attempt for WAN egress billing.
+
+    Every :meth:`SharedLink._begin` call — including retransmissions,
+    which genuinely re-cross the WAN — adds the message's size to the
+    direction's byte counter *before* any fault verdict is drawn, so a
+    message the WAN loses is still billed (the sender transmitted it).
+    Replicated model weights bypass the pipes (they flow region-to-
+    region, not edge-to-cloud) and are added via
+    :meth:`add_replication_bytes`.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.bytes_up = 0.0
+        self.bytes_down = 0.0
+        self.replication_bytes = 0.0
+
+    def _begin(
+        self,
+        pipe: _SharedPipe,
+        direction: str,
+        message: Message,
+        now: float,
+        camera_id: int,
+        payload: Any,
+        message_id: int = -1,
+        sent_at: float | None = None,
+    ) -> LinkTransfer:
+        size = float(message.size_bytes())
+        if direction == "up":
+            self.bytes_up += size
+        else:
+            self.bytes_down += size
+        return super()._begin(
+            pipe, direction, message, now, camera_id, payload, message_id, sent_at
+        )
+
+    def add_replication_bytes(self, num_bytes: float) -> None:
+        """Bill cross-region model-replication traffic to this WAN."""
+        self.replication_bytes += float(num_bytes)
+
+    @property
+    def wan_bytes(self) -> float:
+        """Total bytes billed to this WAN (sends + replication)."""
+        return self.bytes_up + self.bytes_down + self.replication_bytes
+
+    def wan_dollar_cost(self) -> float:
+        """Dollar cost of every byte billed to this WAN so far."""
+        return self.wan_bytes / 1e9 * self.profile.cost_per_gb
+
+
+class RegionLink(_WanAccounting, SharedLink):
+    """A region's WAN-profiled shared link with egress-byte accounting.
+
+    Same processor-sharing wire model as :class:`SharedLink`; adds the
+    region's :class:`WanProfile` (for pricing) and per-direction byte
+    counters so the federation can close its dollar-cost accounting.
+    """
+
+    profile: WanProfile
+
+    def __init__(self, profile: WanProfile | None = None) -> None:
+        self.profile = profile or WanProfile()
+        super().__init__(self.profile.link_config())

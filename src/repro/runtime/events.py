@@ -67,6 +67,8 @@ __all__ = [
     "RevocationEvent",
     "WorkerCrashEvent",
     "LinkPartitionEvent",
+    "RegionOutageEvent",
+    "ReplicationTick",
     "RetryTimer",
     "EventScheduler",
 ]
@@ -244,6 +246,46 @@ class LinkPartitionEvent(Event):
 
     #: False = link goes down now, True = link comes back up now
     healed: bool = False
+
+    priority: ClassVar[int] = 3
+
+
+@dataclass(slots=True)
+class RegionOutageEvent(Event):
+    """A whole region degrades (or recovers) right now (federation).
+
+    Scheduled in cut/heal pairs — from a scripted outage list or the
+    :class:`~repro.core.faults.FaultPlan`'s seeded outage process
+    (:meth:`~repro.core.faults.FaultPlan.draw_region_outages`) — and
+    handled by :meth:`~repro.core.federation.Federation.on_region_outage`:
+    on the cut (``healed=False``) the region's WAN link partitions and,
+    when failover is enabled, its workers are torn down and its cameras
+    re-homed to healthy regions through the drain/handoff path; on the
+    heal (``healed=True``) the link resumes, capacity is re-provisioned
+    and non-sticky selectors move cameras back.  Same priority as worker
+    crashes: busy periods finishing exactly at the cut count as
+    finished, not killed.
+    """
+
+    #: index of the region that degrades/recovers
+    region: int = 0
+    #: False = region goes down now, True = region recovers now
+    healed: bool = False
+
+    priority: ClassVar[int] = 2
+
+
+@dataclass(slots=True)
+class ReplicationTick(Event):
+    """Periodic cross-region model-weight replication point (federation).
+
+    Fired every ``replication_interval_seconds`` by the
+    :class:`~repro.core.federation.Federation`; the handler snapshots
+    each homed camera's freshest student weights so a camera migrated by
+    a later :class:`RegionOutageEvent` resumes from a near-fresh student
+    instead of cold weights.  Priority 3: same-instant deliveries
+    (priorities 0–2) settle first, so the snapshot sees current weights.
+    """
 
     priority: ClassVar[int] = 3
 

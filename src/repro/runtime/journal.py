@@ -136,6 +136,8 @@ def _payload_fields(event: Event) -> tuple:
         return (event.victim_draw,)
     if name == "LinkPartitionEvent":
         return (event.healed,)
+    if name == "RegionOutageEvent":
+        return (event.region, event.healed)
     if name == "RetryTimer":
         return (event.message_id, event.attempt)
     return ()

@@ -19,6 +19,7 @@ test suite and from CI, but shipping with the simulator so the
 from repro.testing.scenarios import (
     chaos_scenario,
     sample_chaos_plan,
+    sample_chaos_regions,
     sample_chaos_shape,
     scenario_from_journal_meta,
     session_from_scenario,
@@ -32,6 +33,7 @@ __all__ = [
     "check_invariants",
     "run_scenario",
     "sample_chaos_plan",
+    "sample_chaos_regions",
     "sample_chaos_shape",
     "scenario_from_journal_meta",
     "session_from_scenario",

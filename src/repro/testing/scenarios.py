@@ -24,9 +24,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core import CameraSpec, FaultPlan, FleetSession, ShoggothConfig
-from repro.network.link import LinkConfig
+from repro.network.link import LinkConfig, WanProfile
 from repro.core.autoscaling import autoscaler_from_fingerprint, build_autoscaler
 from repro.core.faults import CRASH_RECOVERY_MODES
+from repro.core.federation import SELECTORS, RegionSpec
 from repro.detection import (
     StudentConfig,
     StudentDetector,
@@ -42,6 +43,7 @@ __all__ = [
     "build_cameras",
     "sample_chaos_plan",
     "sample_chaos_shape",
+    "sample_chaos_regions",
     "chaos_scenario",
     "session_from_scenario",
     "scenario_from_journal_meta",
@@ -167,20 +169,73 @@ def sample_chaos_shape(seed: int, autoscaler: bool = False) -> dict:
     return shape
 
 
+def sample_chaos_regions(seed: int) -> tuple[dict, dict]:
+    """Draw chaos seed ``seed``'s region topology and outage rates.
+
+    A *separate* RNG (``9000 + seed``) so enabling regions never shifts
+    the frozen plan/shape sequences of an existing seed.  Returns
+    ``(regions, plan_extras)``: ``regions`` is the scenario's
+    ``"regions"`` value — a selector name plus one WAN-profile dict per
+    region (2–3 regions, latency/bandwidth/egress-price spread wide
+    enough that selectors disagree) — and ``plan_extras`` holds the
+    region-outage process parameters to merge into the fault plan (70%
+    of seeds get outages, mean 3–10 s between, mean 0.5–2 s long; WAN
+    partitions already come from the plan's per-region partition
+    streams).
+    """
+    rng = np.random.default_rng(9000 + seed)
+    n_regions = int(rng.integers(2, 4))
+    wan = [
+        {
+            "uplink_kbps": float(rng.uniform(4_000.0, 20_000.0)),
+            "downlink_kbps": float(rng.uniform(8_000.0, 40_000.0)),
+            "rtt_seconds": float(rng.uniform(0.01, 0.25)),
+            "cost_per_gb": float(rng.uniform(0.0, 0.12)),
+        }
+        for _ in range(n_regions)
+    ]
+    selector = sorted(SELECTORS)[int(rng.integers(len(SELECTORS)))]
+    regions = {"selector": selector, "wan": wan}
+    plan_extras = {}
+    if rng.random() < 0.7:
+        plan_extras = {
+            "mean_time_between_region_outages": float(rng.uniform(3.0, 10.0)),
+            "mean_region_outage_seconds": float(rng.uniform(0.5, 2.0)),
+        }
+    return regions, plan_extras
+
+
 def chaos_scenario(
-    seed: int, partitions: bool = False, autoscaler: bool = False
+    seed: int,
+    partitions: bool = False,
+    autoscaler: bool = False,
+    regions: bool = False,
 ) -> dict:
-    """The full scenario dict for chaos seed ``seed`` (plan + shape)."""
+    """The full scenario dict for chaos seed ``seed`` (plan + shape).
+
+    ``regions=True`` federates the scenario: a ``"regions"`` key (drawn
+    by :func:`sample_chaos_regions`) homes the fleet across 2–3
+    WAN-profiled regions and the fault plan gains the seed's
+    region-outage process.  The base plan/shape draws are untouched, so
+    the same seed means the same message/crash chaos with and without
+    regions.
+    """
     shape = sample_chaos_shape(seed, autoscaler=autoscaler)
-    return {
+    plan_kwargs = sample_chaos_plan(seed, partitions=partitions).fingerprint()
+    scenario = {
         "n_cameras": shape["n_cameras"],
         "num_frames": shape["num_frames"],
         "num_gpus": shape["num_gpus"],
         "scheduler": shape["scheduler"],
         "batching": shape["batching"],
         "autoscaler": shape.get("autoscaler"),
-        "fault_plan": sample_chaos_plan(seed, partitions=partitions).fingerprint(),
     }
+    if regions:
+        region_axes, plan_extras = sample_chaos_regions(seed)
+        plan_kwargs = dict(plan_kwargs) | plan_extras
+        scenario["regions"] = region_axes
+    scenario["fault_plan"] = FaultPlan(**plan_kwargs).fingerprint()
+    return scenario
 
 
 def session_from_scenario(scenario: dict) -> FleetSession:
@@ -193,6 +248,35 @@ def session_from_scenario(scenario: dict) -> FleetSession:
     cycles in :func:`build_cameras`.  Deterministic: two sessions from
     the same scenario produce byte-identical journals.
     """
+    if scenario.get("regions"):
+        # federated scenario: the shared shape knobs (GPUs, scheduler,
+        # batching, autoscaler) apply uniformly to every region — the
+        # region axes vary topology, WAN profiles and outage rates
+        region_axes = scenario["regions"]
+        specs = [
+            RegionSpec(
+                name=f"region{i}",
+                num_gpus=scenario["num_gpus"],
+                wan=WanProfile(**wan),
+                scheduler=scenario["scheduler"],
+                batching=scenario.get("batching"),
+                autoscaler=(
+                    autoscaler_from_fingerprint(scenario["autoscaler"])
+                    if scenario.get("autoscaler")
+                    else None
+                ),
+            )
+            for i, wan in enumerate(region_axes["wan"])
+        ]
+        return FleetSession(
+            build_cameras(scenario["n_cameras"], scenario["num_frames"]),
+            student=StudentDetector(StudentConfig(seed=5)),
+            teacher=TeacherDetector(TeacherConfig(seed=9)),
+            config=small_fleet_config(),
+            regions=specs,
+            region_selector=region_axes["selector"],
+            faults=FaultPlan(**scenario["fault_plan"]),
+        )
     policy = None
     if scenario.get("autoscaler"):
         policy = autoscaler_from_fingerprint(scenario["autoscaler"])
@@ -248,6 +332,13 @@ def scenario_from_journal_meta(meta: dict) -> dict:
         scenario["uplink_kbps"] = link["uplink_kbps"]
     if link.get("downlink_kbps", defaults.downlink_kbps) != defaults.downlink_kbps:
         scenario["downlink_kbps"] = link["downlink_kbps"]
+    if meta.get("regions"):
+        # federated journal: selector + per-region WAN profiles recover
+        # the region axes; the outage process rides in the fault plan
+        scenario["regions"] = {
+            "selector": meta["selector"],
+            "wan": [dict(region["wan"]) for region in meta["regions"]],
+        }
     return scenario | {
         "n_cameras": len(cameras),
         "num_frames": frames.pop(),

@@ -5,6 +5,8 @@ A failing chaos seed hands the developer a hostile
 :class:`ChaosShrinker` closes that loop QuickCheck-style: starting from
 the failing scenario it greedily minimises along independent axes —
 toggling the autoscaler / batching / crash / partition machinery off,
+un-federating a multi-region scenario (drop the regions, else collapse
+to one region and zero the outage rates),
 binary-searching the camera count, per-camera frames and GPU count
 down, binary-searching each fault rate toward zero, and (for
 crash-mode failures) bisecting the journal ``stop_after`` replay
@@ -95,8 +97,11 @@ def check_invariants(session, result) -> str | None:
     failure signature naming the first broken law — the same laws the
     chaos suite asserts (message conservation, upload conservation,
     exactly-once completion, crash supervision, capacity conservation,
-    never-reused worker ids), packaged so the shrinker and the
-    regression replayer agree exactly on what "fails" means.
+    never-reused worker ids, and — for federated sessions — dollar-cost
+    closure across compute and WAN egress), packaged so the shrinker
+    and the regression replayer agree exactly on what "fails" means.
+    Per-cluster laws run over ``session.clusters`` (one entry for a
+    plain session, one per region for a federated one).
     """
     if result.num_messages_in_flight != 0:
         return "messages_outstanding"
@@ -117,38 +122,50 @@ def check_invariants(session, result) -> str | None:
         return "upload_conservation"
     if not 0.0 <= result.label_loss_fraction <= 1.0:
         return "label_loss_fraction"
-    cluster = session.cluster
-    completed = [job for worker in cluster.workers for job in worker.completed_jobs]
+    completed = [
+        job
+        for cluster in session.clusters
+        for worker in cluster.workers
+        for job in worker.completed_jobs
+    ]
     if len({id(job) for job in completed}) != len(completed):
         return "duplicate_completion"
     if any(job.wait_seconds < -1e-9 for job in completed):
         return "negative_queue_delay"
-    crash_times = [record.time for record in result.crash_records]
-    if crash_times != sorted(crash_times):
-        return "crash_log_order"
     if result.num_crash_recovered_jobs != sum(
         record.jobs_in_flight for record in result.crash_records
     ):
         return "crash_counter"
-    for record in result.crash_records:
-        victim = cluster.workers[record.worker_id]
-        if not (victim.crashed and victim.draining):
-            return "crash_victim_state"
-        if abs(victim.retired_at - record.time) > 1e-9:
-            return "crash_billing"
-        if record.replacement_id is not None:
-            if cluster.workers[record.replacement_id].spec != victim.spec:
-                return "crash_replacement_spec"
-        if record.jobs_in_flight < 0 or record.jobs_queued < 0:
-            return "crash_negative_jobs"
-    for worker in cluster.workers:
-        horizon = max(result.duration_seconds, worker.busy_until)
-        provisioned = cluster.worker_provisioned_seconds(worker, horizon)
-        if worker.busy_seconds > provisioned + 1e-6:
-            return "capacity_conservation"
-    ids = [worker.worker_id for worker in cluster.workers]
-    if ids != list(range(len(cluster.workers))):
-        return "worker_id_reuse"
+    for cluster in session.clusters:
+        crash_times = [record.time for record in cluster.crash_log]
+        if crash_times != sorted(crash_times):
+            return "crash_log_order"
+        for record in cluster.crash_log:
+            victim = cluster.workers[record.worker_id]
+            if not (victim.crashed and victim.draining):
+                return "crash_victim_state"
+            if abs(victim.retired_at - record.time) > 1e-9:
+                return "crash_billing"
+            if record.replacement_id is not None:
+                if cluster.workers[record.replacement_id].spec != victim.spec:
+                    return "crash_replacement_spec"
+            if record.jobs_in_flight < 0 or record.jobs_queued < 0:
+                return "crash_negative_jobs"
+        for worker in cluster.workers:
+            horizon = max(result.duration_seconds, worker.busy_until)
+            provisioned = cluster.worker_provisioned_seconds(worker, horizon)
+            if worker.busy_seconds > provisioned + 1e-6:
+                return "capacity_conservation"
+        ids = [worker.worker_id for worker in cluster.workers]
+        if ids != list(range(len(cluster.workers))):
+            return "worker_id_reuse"
+    if getattr(session, "federation", None) is not None:
+        federation = session.federation
+        expected = federation.compute_dollar_cost(
+            result.duration_seconds
+        ) + federation.wan_dollar_cost()
+        if abs(result.dollar_cost - expected) > 1e-6 * max(1.0, expected):
+            return "cost_closure"
     return None
 
 
@@ -318,6 +335,32 @@ class ChaosShrinker:
             return candidate
 
         changed |= self._shrink_toggle(_no_partitions)
+
+        def _no_region_outages() -> dict:
+            candidate = json.loads(canonical_dumps(self.current))
+            candidate["fault_plan"].pop("mean_time_between_region_outages", None)
+            candidate["fault_plan"].pop("mean_region_outage_seconds", None)
+            return candidate
+
+        def _no_regions() -> dict:
+            candidate = _no_region_outages()
+            candidate.pop("regions", None)
+            return candidate
+
+        def _one_region() -> dict:
+            candidate = json.loads(canonical_dumps(self.current))
+            regions = candidate.get("regions")
+            if regions and len(regions["wan"]) > 1:
+                regions["wan"] = regions["wan"][:1]
+            return candidate
+
+        if self.current.get("regions"):
+            # region axes, simplest first: un-federate entirely, then
+            # collapse to one region, then quiet the outage process
+            changed |= self._shrink_toggle(_no_regions)
+        if self.current.get("regions"):
+            changed |= self._shrink_toggle(_one_region)
+            changed |= self._shrink_toggle(_no_region_outages)
         changed |= self._shrink_int("n_cameras", 1)
         changed |= self._shrink_int("num_frames", MIN_FRAMES)
         changed |= self._shrink_int("num_gpus", 1)
@@ -432,7 +475,10 @@ def _scenario_from_target(target: str, args: argparse.Namespace) -> dict:
         journal = EventJournal.load(target)
         return scenario_from_journal_meta(journal.meta)
     return chaos_scenario(
-        seed, partitions=args.partitions, autoscaler=args.autoscaler
+        seed,
+        partitions=args.partitions,
+        autoscaler=args.autoscaler,
+        regions=args.regions,
     )
 
 
@@ -479,6 +525,12 @@ def main(argv: list[str] | None = None) -> int:
         help="seed mode: draw the fleet shape with an autoscaler",
     )
     parser.add_argument(
+        "--regions",
+        action="store_true",
+        help="seed mode: federate the fleet across 2-3 WAN-profiled "
+        "regions with a region-outage process",
+    )
+    parser.add_argument(
         "--planted-bug",
         default=None,
         help="plant a bug flag (see repro.core.faults.PLANTED_BUGS) for "
@@ -497,7 +549,10 @@ def main(argv: list[str] | None = None) -> int:
         written = 0
         for seed in range(offset, offset + count):
             scenario = chaos_scenario(
-                seed, partitions=args.partitions, autoscaler=args.autoscaler
+                seed,
+                partitions=args.partitions,
+                autoscaler=args.autoscaler,
+                regions=args.regions,
             )
             shrinker = ChaosShrinker(
                 scenario, budget=args.budget, planted_bug=args.planted_bug

@@ -88,10 +88,15 @@ def chaos_session_factory():
     """Factory: chaos seed -> a live, ready-to-run chaos fleet session."""
 
     def build(
-        seed: int, partitions: bool = False, autoscaler: bool = False
+        seed: int,
+        partitions: bool = False,
+        autoscaler: bool = False,
+        regions: bool = False,
     ) -> FleetSession:
         return session_from_scenario(
-            chaos_scenario(seed, partitions=partitions, autoscaler=autoscaler)
+            chaos_scenario(
+                seed, partitions=partitions, autoscaler=autoscaler, regions=regions
+            )
         )
 
     return build

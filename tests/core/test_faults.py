@@ -156,6 +156,33 @@ def test_chaos_invariants(seed):
     )
 
 
+@pytest.mark.parametrize("seed", SEEDS)
+def test_chaos_invariants_multi_region(seed):
+    """The rotating window again, federated: region axes on the plan.
+
+    Same ``REPRO_CHAOS_SEEDS`` / ``REPRO_CHAOS_SEED_OFFSET`` window as
+    :func:`test_chaos_invariants`, but each seed also draws 2–3
+    WAN-profiled regions, a selector and (usually) a region-outage
+    process on top of partitions and an autoscaler — the full chaos
+    cross.  The invariant oracle is the shrinker's own
+    :func:`repro.testing.shrink.check_invariants`, so a failing seed
+    here minimises directly with
+    ``python -m repro.testing.shrink --partitions --autoscaler
+    --regions <seed>``.
+    """
+    from repro.testing.shrink import check_invariants
+
+    session = session_from_scenario(
+        chaos_scenario(seed, partitions=True, autoscaler=True, regions=True)
+    )
+    result = session.run()
+    failure = check_invariants(session, result)
+    assert failure is None, (
+        f"multi-region chaos seed {seed} broke the {failure!r} invariant "
+        f"(plan[{session.faults.describe()}])"
+    )
+
+
 def test_faults_off_runs_report_no_fault_activity(fleet_factory):
     """A plain fleet run carries all-default fault fields."""
     result = fleet_factory(

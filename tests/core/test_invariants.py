@@ -380,3 +380,126 @@ def test_chaos_autoscaler_invariants(seed):
         f"{tag}: worker ids reused or renumbered: {ids}"
     )
     assert result.dollar_cost >= 0.0
+
+
+def region_chaos_grid(seed: int) -> dict:
+    """One cell of the federated cross-product: every chaos axis on."""
+    return chaos_scenario(seed, partitions=True, autoscaler=True, regions=True)
+
+
+def test_region_chaos_grid_covers_the_region_axes():
+    """The federated 20-seed window genuinely varies the region axes.
+
+    Same sampling-contract guard as the single-cluster grid: region
+    count, selector choice, WAN egress pricing, the region-outage
+    process and per-region WAN partitions must all actually appear in
+    the window, and at least one cell crosses outages × partitions ×
+    autoscaler × batching.
+    """
+    scenarios = [region_chaos_grid(seed) for seed in range(NUM_CHAOS_CONFIGS)]
+    assert all(s.get("regions") for s in scenarios)
+    assert all(len(s["regions"]["wan"]) >= 2 for s in scenarios), (
+        "a federated cell collapsed to a single region"
+    )
+    assert {len(s["regions"]["wan"]) for s in scenarios} >= {2, 3}
+    assert len({s["regions"]["selector"] for s in scenarios}) >= 2, (
+        "the window exercises only one region selector"
+    )
+    assert any(
+        wan["cost_per_gb"] > 0.0 for s in scenarios for wan in s["regions"]["wan"]
+    ), "no region in the window charges WAN egress"
+    axes = {
+        "region_outages": [
+            "mean_time_between_region_outages" in s["fault_plan"]
+            for s in scenarios
+        ],
+        "partitions": [
+            "mean_time_between_partitions" in s["fault_plan"] for s in scenarios
+        ],
+    }
+    for axis, hits in axes.items():
+        assert any(hits), f"no federated scenario exercises {axis}"
+        assert not all(hits), f"no federated scenario runs without {axis}"
+    assert any(
+        axes["region_outages"][i]
+        and axes["partitions"][i]
+        and scenarios[i]["autoscaler"]
+        and scenarios[i]["batching"]
+        for i in range(NUM_CHAOS_CONFIGS)
+    ), "no cell crosses outages × partitions × autoscaler × batching"
+
+
+@pytest.mark.parametrize("seed", range(NUM_CHAOS_CONFIGS))
+def test_region_chaos_invariants(seed):
+    """Conservation laws under region outages × WAN partitions × chaos.
+
+    The federated equivalent of the grid above: every cell homes the
+    fleet across 2–3 WAN-profiled regions, cuts WAN links per region,
+    tears whole regions down and fails cameras over — and the same
+    laws must hold across the union of clusters: no upload lost or
+    duplicated across a migration, every job labeled exactly once, no
+    region ever reuses a worker id, and the billed dollar total closes
+    against per-region compute plus WAN egress.
+    """
+    scenario = region_chaos_grid(seed)
+    tag = f"seed={seed} scenario={scenario}"
+    session = session_from_scenario(scenario)
+    result = session.run()
+    failure = check_invariants(session, result)
+    assert failure is None, f"{tag}: invariant broken: {failure}"
+
+    # frame conservation across migrations: a camera re-homed mid-run
+    # must not lose or double-label uploads already in flight
+    sent = result.sends_by_kind["upload"]
+    labeled = len(result.queue_waits)
+    assert (
+        labeled + result.num_rejected_uploads + result.num_abandoned_uploads
+        == sent
+    ), f"{tag}: upload conservation broke across region migrations"
+
+    # exactly-once labeling across the union of regional clusters
+    all_completed = [
+        job
+        for cluster in session.clusters
+        for worker in cluster.workers
+        for job in worker.completed_jobs
+    ]
+    assert len({id(job) for job in all_completed}) == len(all_completed), (
+        f"{tag}: a job appears in two regions' completion logs"
+    )
+    assert len(all_completed) == labeled, (
+        f"{tag}: cluster completion logs disagree with the fleet result"
+    )
+
+    # ids stay append-only inside every region (never reused, never
+    # renumbered across failover teardowns and heals)
+    for region_index, cluster in enumerate(session.clusters):
+        ids = [worker.worker_id for worker in cluster.workers]
+        assert ids == list(range(len(cluster.workers))), (
+            f"{tag}: region {region_index} reused worker ids: {ids}"
+        )
+
+    # cost-accounting closure: the one billed total is exactly the sum
+    # of every region's provisioned compute plus every link's egress
+    federation = session.federation
+    expected = federation.compute_dollar_cost(
+        result.duration_seconds
+    ) + federation.wan_dollar_cost()
+    assert result.dollar_cost == pytest.approx(expected, abs=1e-6), (
+        f"{tag}: dollar cost does not close over compute + WAN"
+    )
+    assert result.wan_dollar_cost == pytest.approx(
+        sum(m["wan_dollar_cost"] for m in result.region_metrics), abs=1e-9
+    ), f"{tag}: per-region WAN billing loses dollars"
+
+    # homing bookkeeping: every camera homed exactly somewhere, and
+    # every migration left one region and entered another
+    assert (
+        sum(m["num_cameras_homed"] for m in result.region_metrics)
+        == scenario["n_cameras"]
+    ), f"{tag}: camera homing lost or duplicated a camera"
+    migrations_in = sum(m["num_migrations_in"] for m in result.region_metrics)
+    migrations_away = sum(m["num_migrations_away"] for m in result.region_metrics)
+    assert (
+        migrations_in == migrations_away == result.num_region_migrations
+    ), f"{tag}: migration in/away totals disagree"
